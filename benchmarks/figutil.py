@@ -1,0 +1,35 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Every bench regenerates one figure of the paper's evaluation: it runs the
+calibrated experiment grid, prints the series in a paper-comparable table,
+and appends the table to ``benchmarks/results/<figure>.txt`` so
+EXPERIMENTS.md can quote the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(figure: str, title: str, lines: Iterable[str]) -> str:
+    """Print a figure report and persist it under benchmarks/results/."""
+    body = "\n".join([f"== {figure}: {title} ==", *lines, ""])
+    print("\n" + body)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{figure}.txt")
+    with open(path, "w") as fh:
+        fh.write(body + "\n")
+    return body
+
+
+def series_line(label: str, xs: List, ys: List[float], unit: str = "") -> str:
+    pts = "  ".join(f"{x}:{y:8.2f}" for x, y in zip(xs, ys))
+    return f"{label:16s} {pts} {unit}"
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark accounting."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

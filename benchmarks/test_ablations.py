@@ -1,0 +1,302 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe the sensitivity of Klink's
+parameters around the values the paper selects empirically (epoch history
+h = 400, scheduling cycle r = 120 ms, the memory threshold b) and the
+value of the per-input-stream slack for joins (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.core.klink import KlinkScheduler
+from repro.core.scheduler import SchedulerContext
+from repro.spe.engine import Engine
+from repro.spe.memory import GIB, MemoryConfig
+from repro.workloads import WorkloadParams, build_queries
+
+from figutil import once, report
+
+BASE = ExperimentConfig(workload="ysb", scheduler="Klink", n_queries=60,
+                        duration_ms=90_000.0)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_scheduling_cycle(benchmark):
+    """Latency vs the scheduling cycle r (paper picks 120 ms).
+
+    Small r -> more scheduler invocations (overhead); large r -> stale
+    priorities and missed deadlines for idle queries.
+    """
+
+    def collect():
+        out = {}
+        for r in (30.0, 120.0, 480.0):
+            res = run_experiment(replace(BASE, cycle_ms=r))
+            out[r] = res.metrics.mean_latency_ms / 1000
+        return out
+
+    latency = once(benchmark, collect)
+    report(
+        "ablation_cycle",
+        "Klink mean latency (s) vs scheduling cycle r",
+        [f"r={r:5.0f}ms  latency={v:6.2f}s" for r, v in latency.items()],
+    )
+    # A very coarse cycle costs latency relative to the paper's 120 ms.
+    assert latency[480.0] >= latency[120.0] * 0.9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_memory_threshold(benchmark):
+    """Latency/throughput vs the MM activation bound b."""
+
+    def run_with_threshold(b):
+        queries = build_queries("ysb", 60, WorkloadParams(seed=1))
+        engine = Engine(
+            queries,
+            KlinkScheduler(memory_threshold=b),
+            memory=MemoryConfig(capacity_bytes=1.0 * GIB),
+        )
+        m = engine.run(90_000.0)
+        return m.mean_latency_ms / 1000, m.throughput_eps / 1e5
+
+    def collect():
+        return {b: run_with_threshold(b) for b in (0.1, 0.2, 0.5, 0.9)}
+
+    rows = once(benchmark, collect)
+    report(
+        "ablation_threshold",
+        "Klink (latency s, throughput x1e5 ev/s) vs memory threshold b",
+        [f"b={b:4.2f}  latency={lat:6.2f}s  thr={thr:6.2f}" for b, (lat, thr) in rows.items()],
+    )
+    # A threshold too high to ever trigger MM behaves like Klink w/o MM
+    # and loses latency under memory stress.
+    assert rows[0.2][0] <= rows[0.9][0]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_marker_frequency(benchmark):
+    """Sec. 6.1.2: latency markers are emitted every 200 ms — the lowest
+    frequency that tracked the actual event latency closely without
+    affecting performance. Sweep the marker period and report how well
+    the marker-derived latency profile matches the SWM-derived one."""
+    import numpy as np
+
+    def run(marker_period_ms):
+        queries = build_queries("ysb", 40, WorkloadParams(seed=1))
+        for q in queries:
+            for b in q.bindings:
+                b.spec.marker_period_ms = marker_period_ms
+                b.next_marker_time = marker_period_ms
+        engine = Engine(
+            queries, KlinkScheduler(),
+            memory=MemoryConfig(capacity_bytes=1.0 * GIB),
+        )
+        m = engine.run(90_000.0)
+        markers = np.asarray(m.marker_latencies)
+        swms = np.asarray(m.swm_latencies)
+        if len(markers) == 0 or len(swms) == 0:
+            return 0.0, 0
+        similarity = 1.0 - abs(
+            float(np.median(markers)) - float(np.median(swms))
+        ) / float(np.median(swms))
+        return similarity, len(markers)
+
+    def collect():
+        return {p: run(p) for p in (50.0, 200.0, 1000.0, 5000.0)}
+
+    rows = once(benchmark, collect)
+    report(
+        "ablation_markers",
+        "marker period vs latency-profile similarity (YSB @40 queries)",
+        [f"period={p:6.0f}ms  similarity={sim:6.3f}  markers={n}"
+         for p, (sim, n) in rows.items()],
+    )
+    # Markers exist at every frequency, and the marker-derived profile is
+    # stable across frequencies (the paper's criterion for picking the
+    # cheapest adequate rate): 200 ms gives the same similarity as 50 ms
+    # at a quarter of the probe volume. (Markers track event propagation;
+    # SWM latency additionally includes the watermark lateness allowance,
+    # so similarity saturates below 1.0 by construction.)
+    assert all(n > 0 for _, n in rows.values())
+    sims = [sim for sim, _ in rows.values()]
+    assert max(sims) - min(sims) < 0.1
+    assert rows[200.0][1] < rows[50.0][1] / 3
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_iop_vs_oop(benchmark):
+    """Sec. 2.1: in-order processing (IOP) vs out-of-order (OOP).
+
+    Inserting a reorder buffer after each source enforces event-time
+    order before processing; the paper notes IOP "typically imposes
+    large performance overheads". Measured on YSB at moderate load.
+    """
+    from repro.spe.reorder import ReorderBuffer
+    from repro.spe.query import Query, SourceBinding
+
+    def build_ysb_iop(n):
+        from repro.workloads import ysb
+
+        queries = []
+        params = WorkloadParams(seed=1)
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        for i in range(n):
+            deployed = float(rng.uniform(0, 20_000.0))
+            q = ysb.build_query(f"iop-{i}", params, deployed_at=deployed, seed=i)
+            # Rebuild with a reorder buffer at the head.
+            rb = ReorderBuffer(f"iop-{i}.reorder", cost_per_event_ms=0.004)
+            first = q.operators[0]
+            rb.connect(first)
+            binding = SourceBinding(q.bindings[0].spec, rb, seed=i + 17)
+            queries.append(
+                Query(
+                    q.query_id,
+                    [binding],
+                    [rb] + q.operators,
+                    q.sink,
+                    deployed_at=deployed,
+                )
+            )
+        return queries
+
+    def run(iop: bool):
+        if iop:
+            queries = build_ysb_iop(40)
+        else:
+            queries = build_queries("ysb", 40, WorkloadParams(seed=1))
+        engine = Engine(
+            queries, KlinkScheduler(),
+            memory=MemoryConfig(capacity_bytes=1.0 * GIB),
+        )
+        m = engine.run(90_000.0)
+        return m.mean_latency_ms / 1000, m.mean_memory_bytes / GIB
+
+    def collect():
+        return {"OOP (watermarks)": run(False), "IOP (reorder buffers)": run(True)}
+
+    rows = once(benchmark, collect)
+    report(
+        "ablation_iop",
+        "YSB @40 queries: (latency s, memory GB) under OOP vs IOP",
+        [f"{name:24s} latency={lat:6.2f}s mem={mem:6.3f}GB"
+         for name, (lat, mem) in rows.items()],
+    )
+    # IOP buffers events until certified -> strictly more latency+memory.
+    assert rows["IOP (reorder buffers)"][0] >= rows["OOP (watermarks)"][0]
+    assert rows["IOP (reorder buffers)"][1] >= rows["OOP (watermarks)"][1]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_operator_chaining(benchmark):
+    """Flink-style chaining (Sec. 5's "chain of operators"): fusing NYT's
+    stateless prefix into one task reduces queueing stages."""
+    from repro.spe.chaining import fuse_stateless, fusible_runs
+    from repro.spe.query import Query, SourceBinding
+
+    def build_nyt_fused(n):
+        from repro.workloads import nyt
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        params = WorkloadParams(seed=1)
+        queries = []
+        for i in range(n):
+            deployed = float(rng.uniform(0, 20_000.0))
+            q = nyt.build_query(f"fused-{i}", params, deployed_at=deployed, seed=i)
+            runs = fusible_runs(q.operators)
+            assert runs, "NYT should expose a fusible stateless chain"
+            run_ops = runs[0]
+            fused = fuse_stateless(run_ops, name=f"fused-{i}.chain")
+            tail = q.operators[len(run_ops):]
+            fused.connect(tail[0])
+            binding = SourceBinding(q.bindings[0].spec, fused, seed=i + 17)
+            queries.append(
+                Query(q.query_id, [binding], [fused] + tail, q.sink,
+                      deployed_at=deployed)
+            )
+        return queries
+
+    def run(fused: bool):
+        if fused:
+            queries = build_nyt_fused(40)
+        else:
+            queries = build_queries("nyt", 40, WorkloadParams(seed=1))
+        engine = Engine(
+            queries, KlinkScheduler(),
+            memory=MemoryConfig(capacity_bytes=1.0 * GIB),
+        )
+        m = engine.run(90_000.0)
+        return m.mean_latency_ms / 1000
+
+    def collect():
+        return {"unfused (6 tasks)": run(False), "fused chain (2 tasks)": run(True)}
+
+    rows = once(benchmark, collect)
+    report(
+        "ablation_chaining",
+        "NYT @40 queries: mean latency (s) with/without operator chaining",
+        [f"{name:24s} latency={v:6.2f}s" for name, v in rows.items()],
+    )
+    # Fusion must not hurt; it usually removes pipeline stages' queueing.
+    assert rows["fused chain (2 tasks)"] <= rows["unfused (6 tasks)"] * 1.1
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_join_per_stream_slack(benchmark):
+    """Sec. 3.3: per-input-stream slack vs naive single-stream slack.
+
+    The naive variant estimates a join query's slack from its first input
+    stream only; the per-stream minimum accounts for the slowest stream's
+    watermark progress. Measured on LRB, whose join reads three streams
+    with independent delay processes.
+    """
+
+    class FirstStreamOnlyKlink(KlinkScheduler):
+        name = "Klink (first-stream slack)"
+
+        def query_slack(self, query, ctx: SchedulerContext):
+            cost = query.pending_cost_ms()
+            urgent = self._pending_swm_slack(query, ctx.now)
+            if urgent is not None:
+                return urgent, 0
+            from repro.core.slack import expected_slack, interval_steps
+
+            binding = query.bindings[0]
+            estimate = self.estimator.estimate(binding, phase=query.deployed_at)
+            if estimate is None:
+                return float("inf"), 0
+            return (
+                expected_slack(estimate, ctx.now, cost, ctx.cycle_ms),
+                interval_steps(estimate, ctx.now, ctx.cycle_ms),
+            )
+
+    def run_lrb(scheduler):
+        queries = build_queries("lrb", 60, WorkloadParams(seed=1))
+        engine = Engine(
+            queries, scheduler, memory=MemoryConfig(capacity_bytes=2.0 * GIB)
+        )
+        m = engine.run(90_000.0)
+        return m.mean_latency_ms / 1000
+
+    def collect():
+        return {
+            "per-stream min (Sec. 3.3)": run_lrb(KlinkScheduler()),
+            "first-stream only": run_lrb(FirstStreamOnlyKlink()),
+        }
+
+    rows = once(benchmark, collect)
+    report(
+        "ablation_join_slack",
+        "LRB @60 queries: mean latency (s) by join slack strategy",
+        [f"{name:28s} latency={v:6.2f}s" for name, v in rows.items()],
+    )
+    # Both run; the per-stream variant must not be worse than naive by
+    # more than noise (and is typically better).
+    assert rows["per-stream min (Sec. 3.3)"] <= rows["first-stream only"] * 1.15

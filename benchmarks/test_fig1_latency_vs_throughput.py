@@ -1,0 +1,63 @@
+"""Figure 1: average output latency vs. SPE throughput (YSB and LRB).
+
+Paper shape: at a given throughput level, Flink's Default scheduler incurs
+~50% extra output latency over Klink on both workloads; latency is small
+under light load and climbs steeply as the load approaches capacity.
+
+The sweep varies the offered load via ``rate_scale`` at a fixed fleet of
+60 queries and reports (achieved throughput, mean latency) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_cached
+
+from figutil import once, report
+
+RATE_SCALES = [0.125, 0.25, 0.5, 0.75, 1.0]
+BASE = ExperimentConfig(n_queries=60, duration_ms=120_000.0)
+
+
+def _sweep():
+    lines = []
+    summary = {}
+    for workload in ("ysb", "lrb"):
+        for scheduler in ("Default", "Klink"):
+            points = []
+            for rate in RATE_SCALES:
+                cfg = replace(
+                    BASE, workload=workload, scheduler=scheduler, rate_scale=rate
+                )
+                res = run_cached(cfg)
+                points.append(
+                    (
+                        res.metrics.throughput_eps / 1e5,
+                        res.metrics.mean_latency_ms / 1000.0,
+                    )
+                )
+            summary[(workload, scheduler)] = points
+            lines.append(
+                f"{workload.upper()} ({scheduler}): "
+                + "  ".join(f"[{thr:5.2f}x1e5ev/s -> {lat:5.2f}s]" for thr, lat in points)
+            )
+    return lines, summary
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_latency_vs_throughput(benchmark):
+    lines, summary = once(benchmark, _sweep)
+    report("fig1", "latency vs throughput (Default vs Klink, YSB+LRB)", lines)
+    for workload in ("ysb", "lrb"):
+        default_pts = summary[(workload, "Default")]
+        klink_pts = summary[(workload, "Klink")]
+        # At the highest common load, Default must incur substantially
+        # more latency than Klink (paper: ~50% extra).
+        assert default_pts[-1][1] > klink_pts[-1][1] * 1.2, (
+            f"{workload}: Default {default_pts[-1]} vs Klink {klink_pts[-1]}"
+        )
+        # Light load: latencies are small and comparable (within 40%).
+        assert default_pts[0][1] == pytest.approx(klink_pts[0][1], rel=0.4)

@@ -1,0 +1,119 @@
+"""Figures 7a-7d: LRB and NYT latency and tail behaviour.
+
+* 7a/7b — mean latency vs. number of queries for LRB and NYT. Paper
+  shape: the non-Klink policies cluster (12-15 s at 80 queries), Klink
+  delivers >= 45% lower latency, the curves worsen past 40 queries.
+* 7c/7d — latency CDF at 60 queries. Paper shape: Default's tail grows
+  ~50% from the 90th to the 99th percentile; Klink achieves significantly
+  better latency across all percentiles (60%/50% tail reductions on
+  LRB/NYT respectively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_cached
+
+from figutil import once, report, series_line
+
+N_QUERIES = [1, 20, 40, 60, 80]
+SCHEDULERS = ["Default", "FCFS", "RR", "HR", "SBox", "Klink"]
+CDF_PCTS = [40, 50, 60, 70, 80, 90, 95, 99]
+
+
+def _result(workload: str, scheduler: str, n: int):
+    cfg = ExperimentConfig(
+        workload=workload, scheduler=scheduler, n_queries=n,
+        duration_ms=120_000.0,
+    )
+    return run_cached(cfg)
+
+
+def _mean_latency_sweep(workload: str):
+    return {
+        name: [
+            _result(workload, name, n).metrics.mean_latency_ms / 1000
+            for n in N_QUERIES
+        ]
+        for name in SCHEDULERS
+    }
+
+
+def _check_mean_sweep(series, workload: str):
+    at80 = {name: ys[-1] for name, ys in series.items()}
+    # Klink delivers a large reduction over the baseline cluster.
+    for name in ("Default", "FCFS", "RR", "SBox"):
+        assert at80["Klink"] < at80[name] * 0.7, (workload, name, at80)
+    # Light load: all policies indistinguishable.
+    at1 = {name: ys[0] for name, ys in series.items()}
+    assert max(at1.values()) < min(at1.values()) * 1.3, (workload, at1)
+    # Latency worsens as load grows for the baselines.
+    assert series["Default"][-1] > series["Default"][0]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_lrb_mean_latency(benchmark):
+    series = once(benchmark, lambda: _mean_latency_sweep("lrb"))
+    report(
+        "fig7a",
+        "LRB mean latency (s) vs number of queries",
+        [series_line(name, N_QUERIES, ys) for name, ys in series.items()],
+    )
+    _check_mean_sweep(series, "lrb")
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_nyt_mean_latency(benchmark):
+    series = once(benchmark, lambda: _mean_latency_sweep("nyt"))
+    report(
+        "fig7b",
+        "NYT mean latency (s) vs number of queries",
+        [series_line(name, N_QUERIES, ys) for name, ys in series.items()],
+    )
+    _check_mean_sweep(series, "nyt")
+
+
+def _cdf(workload: str):
+    return {
+        name: dict(_result(workload, name, 60).metrics.latency_cdf(CDF_PCTS))
+        for name in SCHEDULERS
+    }
+
+
+def _check_cdf(cdfs, workload: str):
+    # Klink beats Default from the median to the 99th percentile.
+    for pct in (50, 90, 99):
+        assert cdfs["Klink"][pct] < cdfs["Default"][pct], (workload, pct)
+    # Default's tail deteriorates sharply between p90 and p99 (paper: +45-53%).
+    assert cdfs["Default"][99] > cdfs["Default"][90] * 1.2, workload
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_lrb_cdf(benchmark):
+    cdfs = once(benchmark, lambda: _cdf("lrb"))
+    report(
+        "fig7c",
+        "LRB latency CDF at 60 queries (s)",
+        [
+            series_line(name, CDF_PCTS, [v / 1000 for v in cdf.values()])
+            for name, cdf in cdfs.items()
+        ],
+    )
+    _check_cdf(cdfs, "lrb")
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7d_nyt_cdf(benchmark):
+    cdfs = once(benchmark, lambda: _cdf("nyt"))
+    report(
+        "fig7d",
+        "NYT latency CDF at 60 queries (s)",
+        [
+            series_line(name, CDF_PCTS, [v / 1000 for v in cdf.values()])
+            for name, cdf in cdfs.items()
+        ],
+    )
+    _check_cdf(cdfs, "nyt")

@@ -1,0 +1,81 @@
+"""Figures 9a/9b: memory and CPU utilization vs. offered throughput.
+
+Paper shape (YSB, 60 queries, load swept):
+
+* 9a — Klink consumes 25-60% less memory than Default across the
+  throughput range, and Default's 90th-percentile memory hits the ceiling
+  at roughly half the load at which Klink does.
+* 9b — Klink's average and tail CPU utilization are consistently higher
+  than Default's, and keep scaling with the load while Default's stall
+  (the memory-pressure penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_cached
+from repro.spe.memory import GIB
+
+from figutil import once, report, series_line
+
+RATE_SCALES = [0.125, 0.25, 0.5, 0.75, 1.0, 1.25]
+BASE = ExperimentConfig(workload="ysb", n_queries=60, duration_ms=120_000.0)
+
+
+def _points(scheduler: str):
+    rows = []
+    for rate in RATE_SCALES:
+        res = run_cached(replace(BASE, scheduler=scheduler, rate_scale=rate))
+        m = res.metrics
+        rows.append(
+            {
+                "throughput": m.throughput_eps / 1e5,
+                "mem_avg": m.mean_memory_bytes / GIB,
+                "mem_p90": m.memory_percentile(90) / GIB,
+                "cpu_avg": 100 * m.mean_cpu_fraction,
+                "cpu_p90": 100 * m.cpu_percentile(90),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig9ab")
+def test_fig9a_memory_vs_throughput(benchmark):
+    def collect():
+        return {name: _points(name) for name in ("Default", "Klink")}
+
+    series = once(benchmark, collect)
+    lines = []
+    for name, rows in series.items():
+        xs = [f"{r['throughput']:.1f}" for r in rows]
+        lines.append(series_line(f"{name} AVG", xs, [r["mem_avg"] for r in rows], "GB"))
+        lines.append(series_line(f"{name} p90", xs, [r["mem_p90"] for r in rows], "GB"))
+    report("fig9a", "YSB @60 queries: memory (GB) vs throughput (x1e5 ev/s)", lines)
+    # At the highest load Klink uses far less memory than Default
+    # (paper: 25-60% less across the range).
+    top_default = series["Default"][-1]
+    top_klink = series["Klink"][-1]
+    assert top_klink["mem_avg"] < 0.6 * top_default["mem_avg"]
+    assert top_klink["mem_p90"] < top_default["mem_p90"]
+
+
+@pytest.mark.benchmark(group="fig9ab")
+def test_fig9b_cpu_vs_throughput(benchmark):
+    def collect():
+        return {name: _points(name) for name in ("Default", "Klink")}
+
+    series = once(benchmark, collect)
+    lines = []
+    for name, rows in series.items():
+        xs = [f"{r['throughput']:.1f}" for r in rows]
+        lines.append(series_line(f"{name} AVG", xs, [r["cpu_avg"] for r in rows], "%"))
+        lines.append(series_line(f"{name} p90", xs, [r["cpu_p90"] for r in rows], "%"))
+    report("fig9b", "YSB @60 queries: CPU (%) vs throughput (x1e5 ev/s)", lines)
+    # Under stress Klink sustains higher CPU than Default, and its
+    # utilization scales with the load.
+    assert series["Klink"][-1]["cpu_avg"] > series["Default"][-1]["cpu_avg"]
+    klink_cpu = [r["cpu_avg"] for r in series["Klink"]]
+    assert klink_cpu[-1] > klink_cpu[0]

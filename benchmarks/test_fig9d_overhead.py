@@ -1,0 +1,48 @@
+"""Figure 9d: Klink's scheduler overhead vs. confidence value.
+
+Overhead is reported as the fraction of CPU time the runtime spends on
+data collection, SWM estimation, and prioritization instead of processing
+events. Paper shape: overhead decreases with lower confidence values
+(smaller search intervals mean fewer Algorithm-1 window slides), the gap
+between the highest and lowest confidence is small, and the absolute
+impact is negligible (~0.5% of throughput at the default f = 95).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import ExperimentConfig, run_cached
+
+from figutil import once, report
+
+CONFIDENCES = [100.0, 99.0, 95.0, 90.0, 67.0]
+BASE = ExperimentConfig(
+    workload="ysb", scheduler="Klink", n_queries=60, duration_ms=120_000.0
+)
+
+
+@pytest.mark.benchmark(group="fig9d")
+def test_fig9d_scheduler_overhead(benchmark):
+    def collect():
+        out = {}
+        for f in CONFIDENCES:
+            res = run_cached(replace(BASE, confidence=f))
+            out[f] = 100 * res.metrics.overhead_fraction
+        return out
+
+    overhead = once(benchmark, collect)
+    report(
+        "fig9d",
+        "Klink scheduler overhead (% of CPU) vs confidence value",
+        [f"f={f:5.1f}%  overhead = {pct:5.3f}%" for f, pct in overhead.items()],
+    )
+    # Overhead shrinks (weakly) as the confidence value decreases.
+    ordered = [overhead[f] for f in CONFIDENCES]
+    assert ordered[0] >= ordered[-1]
+    # The absolute overhead is negligible (paper: ~0.5%); the spread
+    # between the highest and lowest confidence is small.
+    assert all(pct < 3.0 for pct in ordered)
+    assert ordered[0] - ordered[-1] < 2.0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Demonstrate the SWM ingestion estimator (Sec. 3.1 / Fig. 9c).
+
+Compares Klink's distribution-based confidence intervals against the
+gradient-descent linear-regression baseline under Uniform and Zipf
+network delays, printing the interval coverage (the paper's "accuracy
+rate") and average interval width.
+"""
+
+from repro import LinearRegressionEstimator, SwmIngestionEstimator, UniformDelay, ZipfDelay
+from repro.bench.estimation import estimator_accuracy
+
+
+def main() -> None:
+    estimators = [
+        ("Klink (f=95)", lambda: SwmIngestionEstimator(confidence=95.0)),
+        ("Klink (f=90)", lambda: SwmIngestionEstimator(confidence=90.0)),
+        ("LR (grad. descent)", lambda: LinearRegressionEstimator()),
+    ]
+    delays = [
+        ("Uniform(0, 500ms)", lambda s: UniformDelay(0.0, 500.0, seed=s)),
+        ("Zipf(0.99)", lambda s: ZipfDelay(a=0.99, max_ms=500.0, seed=s)),
+    ]
+
+    print("SWM ingestion estimation accuracy (400 epochs, 3 seeds)\n")
+    print(f"{'delay':18s} {'estimator':20s} {'coverage':>9s} {'width':>9s}")
+    for dist_name, make_delay in delays:
+        for est_name, make_est in estimators:
+            accs, widths = [], []
+            for seed in range(3):
+                r = estimator_accuracy(
+                    make_est(), make_delay(seed), n_epochs=400, seed=seed
+                )
+                accs.append(r.accuracy)
+                widths.append(r.mean_interval_ms)
+            print(
+                f"{dist_name:18s} {est_name:20s} "
+                f"{100 * sum(accs) / len(accs):8.1f}% "
+                f"{sum(widths) / len(widths):8.1f}ms"
+            )
+    print(
+        "\nKlink brackets the next sweeping watermark with a confidence"
+        "\ninterval from per-epoch delay statistics (Eqs. 3-6); the LR"
+        "\nbaseline's short-window residual band under-covers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: run the Yahoo! Streaming Benchmark under two schedulers.
+
+Builds a fleet of YSB queries, runs them once under Flink's Default
+scheduling model and once under Klink, and prints the headline metrics
+the paper compares (mean/tail output latency, throughput, memory, CPU).
+
+Usage::
+
+    python examples/quickstart.py [n_queries] [duration_seconds]
+"""
+
+import sys
+
+from repro import (
+    DefaultScheduler,
+    Engine,
+    KlinkScheduler,
+    MemoryConfig,
+    WorkloadParams,
+    build_queries,
+)
+from repro.spe.memory import GIB
+
+
+def run_once(scheduler, n_queries: int, duration_s: float):
+    queries = build_queries("ysb", n_queries, WorkloadParams(seed=1))
+    engine = Engine(
+        queries,
+        scheduler,
+        cores=24,
+        cycle_ms=120.0,
+        memory=MemoryConfig(capacity_bytes=1.0 * GIB),
+    )
+    return engine.run(duration_s * 1000.0)
+
+
+def main() -> None:
+    n_queries = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    duration_s = float(sys.argv[2]) if len(sys.argv) > 2 else 60.0
+
+    print(f"YSB, {n_queries} queries, {duration_s:.0f} simulated seconds\n")
+    print(f"{'scheduler':16s} {'mean lat':>9s} {'p99 lat':>9s} "
+          f"{'throughput':>12s} {'memory':>8s} {'cpu':>6s}")
+    for scheduler in (DefaultScheduler(), KlinkScheduler()):
+        metrics = run_once(scheduler, n_queries, duration_s)
+        s = metrics.summary()
+        print(
+            f"{scheduler.name:16s} "
+            f"{s['mean_latency_ms'] / 1000:8.2f}s "
+            f"{s['p99_latency_ms'] / 1000:8.2f}s "
+            f"{s['throughput_eps']:11,.0f}/s "
+            f"{s['mean_memory_gb']:6.2f}GB "
+            f"{s['mean_cpu_pct']:5.1f}%"
+        )
+    print(
+        "\nUnder contention Klink fires windows as their sweeping watermarks"
+        "\narrive, keeping output latency low while its memory management"
+        "\nsustains throughput (Sec. 3 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

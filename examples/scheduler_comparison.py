@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare all seven scheduling policies on the NYC Taxi workload.
+
+Reproduces the flavour of the paper's Figs. 6-7 at example scale: a
+contended fleet of NYT aggregation queries run under each policy, with
+mean/median/tail latency and throughput side by side.
+
+Usage::
+
+    python examples/scheduler_comparison.py [n_queries]
+"""
+
+import sys
+
+from repro import Engine, MemoryConfig, WorkloadParams, build_queries
+from repro.bench.runner import SCHEDULER_NAMES, make_scheduler
+from repro.spe.memory import GIB
+
+
+def main() -> None:
+    n_queries = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+
+    print(f"NYT workload, {n_queries} queries, 24 cores, 60 simulated s\n")
+    print(f"{'policy':16s} {'mean':>8s} {'p50':>8s} {'p90':>8s} {'p99':>8s} "
+          f"{'thr (ev/s)':>12s} {'windows':>8s}")
+    for name in SCHEDULER_NAMES:
+        queries = build_queries("nyt", n_queries, WorkloadParams(seed=1))
+        engine = Engine(
+            queries,
+            make_scheduler(name),
+            cores=24,
+            cycle_ms=120.0,
+            memory=MemoryConfig(capacity_bytes=1.0 * GIB),
+        )
+        m = engine.run(60_000.0)
+        print(
+            f"{name:16s} "
+            f"{m.mean_latency_ms / 1000:7.2f}s "
+            f"{m.latency_percentile(50) / 1000:7.2f}s "
+            f"{m.latency_percentile(90) / 1000:7.2f}s "
+            f"{m.latency_percentile(99) / 1000:7.2f}s "
+            f"{m.throughput_eps:11,.0f} "
+            f"{len(m.swm_latencies):8d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

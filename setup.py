@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships setuptools 65.5 without the ``wheel``
+package, so PEP 517 editable installs (which build a wheel) fail. This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use
+the classic ``setup.py develop`` path, which needs no wheel.
+"""
+
+from setuptools import setup
+
+setup()

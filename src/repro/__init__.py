@@ -1,0 +1,114 @@
+"""repro — reproduction of *Klink: Progress-Aware Scheduling for Streaming
+Data Systems* (Farhat, Daudjee, Querzoni; SIGMOD 2021).
+
+The package provides:
+
+* :mod:`repro.spe` — a from-scratch discrete-event stream processing
+  engine with windows, watermarks, a cost/selectivity model, a memory
+  model with backpressure, and a pluggable state-based runtime scheduler.
+* :mod:`repro.core` — the Klink scheduler (SWM ingestion estimation,
+  expected-slack computation, join handling, memory management) and the
+  five baseline policies the paper compares against.
+* :mod:`repro.net` — the network delay distributions of the evaluation.
+* :mod:`repro.workloads` — the YSB, LRB, and NYT benchmark pipelines.
+* :mod:`repro.distributed` — the decentralized multi-node deployment of
+  Sec. 4 with delay/cost information forwarding.
+* :mod:`repro.bench` — the experiment harness regenerating every figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro import KlinkScheduler, Engine, build_queries
+
+    queries = build_queries("ysb", n_queries=8)
+    engine = Engine(queries, KlinkScheduler(), cores=24, cycle_ms=120.0)
+    metrics = engine.run(duration_ms=60_000.0)
+    print(metrics.summary())
+"""
+
+from repro.core import (
+    ALL_BASELINES,
+    ClassBasedScheduler,
+    DefaultScheduler,
+    FCFSScheduler,
+    HighestRateScheduler,
+    KlinkScheduler,
+    LinearRegressionEstimator,
+    RoundRobinScheduler,
+    Scheduler,
+    StreamBoxScheduler,
+    SwmIngestionEstimator,
+)
+from repro.net import ConstantDelay, DelayModel, ExponentialDelay, UniformDelay, ZipfDelay
+from repro.spe import (
+    CountWindowedAggregate,
+    Engine,
+    FusedOperator,
+    ReorderBuffer,
+    EventBatch,
+    FilterOperator,
+    LatencyMarker,
+    MapOperator,
+    MemoryConfig,
+    Query,
+    RunMetrics,
+    SinkOperator,
+    SlidingEventTimeWindows,
+    SourceBinding,
+    SourceSpec,
+    TumblingEventTimeWindows,
+    Watermark,
+    WindowedAggregate,
+    WindowedJoin,
+    chain,
+)
+from repro.workloads import WorkloadParams, build_queries, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # schedulers
+    "KlinkScheduler",
+    "DefaultScheduler",
+    "FCFSScheduler",
+    "RoundRobinScheduler",
+    "HighestRateScheduler",
+    "StreamBoxScheduler",
+    "Scheduler",
+    "ClassBasedScheduler",
+    "ALL_BASELINES",
+    "SwmIngestionEstimator",
+    "LinearRegressionEstimator",
+    # engine & pipeline building blocks
+    "Engine",
+    "Query",
+    "SourceSpec",
+    "SourceBinding",
+    "chain",
+    "MapOperator",
+    "FilterOperator",
+    "WindowedAggregate",
+    "WindowedJoin",
+    "CountWindowedAggregate",
+    "SinkOperator",
+    "ReorderBuffer",
+    "FusedOperator",
+    "TumblingEventTimeWindows",
+    "SlidingEventTimeWindows",
+    "EventBatch",
+    "Watermark",
+    "LatencyMarker",
+    "MemoryConfig",
+    "RunMetrics",
+    # delays
+    "DelayModel",
+    "UniformDelay",
+    "ZipfDelay",
+    "ConstantDelay",
+    "ExponentialDelay",
+    # workloads
+    "build_queries",
+    "WorkloadParams",
+    "workload_names",
+]

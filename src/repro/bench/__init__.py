@@ -1,0 +1,25 @@
+"""Experiment harness regenerating the paper's evaluation figures."""
+
+from repro.bench.runner import (
+    DEFAULT_DURATION_MS,
+    ExperimentConfig,
+    ExperimentResult,
+    SCHEDULER_NAMES,
+    WORKLOAD_MEMORY_GB,
+    make_scheduler,
+    run_cached,
+    run_experiment,
+)
+from repro.bench.estimation import estimator_accuracy
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "run_cached",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    "WORKLOAD_MEMORY_GB",
+    "DEFAULT_DURATION_MS",
+    "estimator_accuracy",
+]

@@ -1,0 +1,207 @@
+"""Command-line interface for running reproduction experiments.
+
+Usage (installed as ``repro-bench``, or ``python -m repro.cli``)::
+
+    repro-bench run --workload ysb --scheduler Klink --queries 60
+    repro-bench sweep --workload lrb --queries 20 40 60 --schedulers Default Klink
+    repro-bench estimate --delay zipf --confidence 95
+    repro-bench list
+
+Every command prints a human-readable table; ``--csv PATH`` additionally
+writes machine-readable rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.bench.estimation import estimator_accuracy
+from repro.bench.runner import (
+    ExperimentConfig,
+    SCHEDULER_NAMES,
+    WORKLOAD_MEMORY_GB,
+    run_experiment,
+)
+from repro.core.estimator import SwmIngestionEstimator
+from repro.core.lr import LinearRegressionEstimator
+from repro.workloads import make_delay_model, workload_names
+
+_SUMMARY_FIELDS = [
+    "workload",
+    "scheduler",
+    "n_queries",
+    "mean_latency_ms",
+    "p90_latency_ms",
+    "p99_latency_ms",
+    "throughput_eps",
+    "mean_memory_gb",
+    "mean_cpu_pct",
+    "overhead_pct",
+]
+
+
+def _write_csv(path: str, rows: List[dict]) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_SUMMARY_FIELDS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in _SUMMARY_FIELDS})
+
+
+def _summary_row(res) -> dict:
+    row = dict(res.summary)
+    row["workload"] = res.config.workload
+    row["scheduler"] = res.config.scheduler
+    row["n_queries"] = res.config.n_queries
+    row.pop("mean_slowdown", None)
+    return row
+
+
+def _print_rows(rows: List[dict]) -> None:
+    print(
+        f"{'workload':9s} {'scheduler':16s} {'n':>4s} {'mean':>8s} "
+        f"{'p90':>8s} {'p99':>8s} {'thr(ev/s)':>12s} {'mem(GB)':>8s} {'cpu%':>6s}"
+    )
+    for r in rows:
+        print(
+            f"{r['workload']:9s} {r['scheduler']:16s} {r['n_queries']:4d} "
+            f"{r['mean_latency_ms'] / 1000:7.2f}s "
+            f"{r['p90_latency_ms'] / 1000:7.2f}s "
+            f"{r['p99_latency_ms'] / 1000:7.2f}s "
+            f"{r['throughput_eps']:12,.0f} "
+            f"{r['mean_memory_gb']:8.3f} "
+            f"{r['mean_cpu_pct']:6.1f}"
+        )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="ysb", choices=workload_names())
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds (default 120)")
+    parser.add_argument("--cores", type=int, default=24)
+    parser.add_argument("--cycle", type=float, default=120.0,
+                        help="scheduling cycle r in ms (default 120)")
+    parser.add_argument("--delay", default="uniform", choices=["uniform", "zipf"])
+    parser.add_argument("--memory-gb", type=float, default=None,
+                        help="memory capacity (default: per-workload)")
+    parser.add_argument("--rate-scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--csv", default=None, help="write results as CSV")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        workload=args.workload,
+        scheduler=args.scheduler,
+        n_queries=args.queries,
+        duration_ms=args.duration * 1000.0,
+        cores=args.cores,
+        cycle_ms=args.cycle,
+        delay=args.delay,
+        rate_scale=args.rate_scale,
+        seed=args.seed,
+        memory_gb=args.memory_gb,
+    )
+    res = run_experiment(cfg)
+    rows = [_summary_row(res)]
+    _print_rows(rows)
+    if args.csv:
+        _write_csv(args.csv, rows)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    base = ExperimentConfig(
+        workload=args.workload,
+        duration_ms=args.duration * 1000.0,
+        cores=args.cores,
+        cycle_ms=args.cycle,
+        delay=args.delay,
+        rate_scale=args.rate_scale,
+        seed=args.seed,
+        memory_gb=args.memory_gb,
+    )
+    rows = []
+    for scheduler in args.schedulers:
+        for n in args.queries:
+            cfg = replace(base, scheduler=scheduler, n_queries=n)
+            rows.append(_summary_row(run_experiment(cfg)))
+    _print_rows(rows)
+    if args.csv:
+        _write_csv(args.csv, rows)
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    if args.estimator == "lr":
+        estimator = LinearRegressionEstimator()
+        label = "LR (gradient descent)"
+    else:
+        estimator = SwmIngestionEstimator(confidence=args.confidence)
+        label = f"Klink (f={args.confidence:g})"
+    accs = []
+    for seed in range(args.repetitions):
+        model = make_delay_model(args.delay, seed)
+        r = estimator_accuracy(estimator, model, n_epochs=args.epochs, seed=seed)
+        accs.append(r.accuracy)
+    mean_acc = 100.0 * sum(accs) / len(accs)
+    print(f"{label} under {args.delay}: accuracy {mean_acc:.1f}% "
+          f"({args.repetitions} seeds x {args.epochs} epochs)")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads  :", ", ".join(workload_names()))
+    print("schedulers :", ", ".join(SCHEDULER_NAMES))
+    print("memory/GiB :", ", ".join(
+        f"{k}={v}" for k, v in WORKLOAD_MEMORY_GB.items()
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Klink reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a single experiment")
+    _add_common(run_p)
+    run_p.add_argument("--scheduler", default="Klink", choices=SCHEDULER_NAMES)
+    run_p.add_argument("--queries", type=int, default=60)
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="sweep query counts x schedulers")
+    _add_common(sweep_p)
+    sweep_p.add_argument("--schedulers", nargs="+", default=["Default", "Klink"],
+                         choices=SCHEDULER_NAMES)
+    sweep_p.add_argument("--queries", nargs="+", type=int,
+                         default=[20, 40, 60, 80])
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    est_p = sub.add_parser("estimate", help="SWM estimator accuracy")
+    est_p.add_argument("--estimator", default="klink", choices=["klink", "lr"])
+    est_p.add_argument("--confidence", type=float, default=95.0)
+    est_p.add_argument("--delay", default="uniform", choices=["uniform", "zipf"])
+    est_p.add_argument("--epochs", type=int, default=400)
+    est_p.add_argument("--repetitions", type=int, default=3)
+    est_p.set_defaults(func=cmd_estimate)
+
+    list_p = sub.add_parser("list", help="list workloads and schedulers")
+    list_p.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Klink and baseline scheduling policies (the paper's contribution)."""
+
+from repro.core.baselines import (
+    ALL_BASELINES,
+    DefaultScheduler,
+    FCFSScheduler,
+    HighestRateScheduler,
+    RoundRobinScheduler,
+    StreamBoxScheduler,
+)
+from repro.core.classes import ClassBasedScheduler
+from repro.core.estimator import (
+    SwmEstimate,
+    SwmIngestionEstimator,
+    Z_SCORES,
+    z_for_confidence,
+)
+from repro.core.klink import KlinkScheduler
+from repro.core.lr import GradientDescentLinearRegression, LinearRegressionEstimator
+from repro.core.memory_policy import PrefixPlan, best_prefix
+from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
+from repro.core.slack import expected_slack, gaussian_q, interval_probability, survival
+
+__all__ = [
+    "KlinkScheduler",
+    "DefaultScheduler",
+    "FCFSScheduler",
+    "RoundRobinScheduler",
+    "HighestRateScheduler",
+    "StreamBoxScheduler",
+    "ALL_BASELINES",
+    "ClassBasedScheduler",
+    "Scheduler",
+    "SchedulerContext",
+    "Plan",
+    "Allocation",
+    "SwmEstimate",
+    "SwmIngestionEstimator",
+    "LinearRegressionEstimator",
+    "GradientDescentLinearRegression",
+    "Z_SCORES",
+    "z_for_confidence",
+    "expected_slack",
+    "gaussian_q",
+    "interval_probability",
+    "survival",
+    "PrefixPlan",
+    "best_prefix",
+]

@@ -1,0 +1,131 @@
+"""Baseline scheduling policies (Sec. 6.1.3).
+
+* **Default** — Flink's scheduler performs no query-level runtime
+  prioritization: operator threads share cores under the JVM/OS scheduler.
+  Modelled as processor-sharing across all queries with queued work.
+* **FCFS** — processes input in event arrival order: the query holding the
+  oldest queued record runs first.
+* **RR** — Round-Robin over the queries, a fixed core-slice each, avoiding
+  starvation.
+* **HR (Highest Rate)** [Sharaf et al., TODS 2008] — prioritizes the query
+  (path) with the highest global output rate: output events produced per
+  unit of CPU time, computed from per-operator selectivities and costs.
+* **SBox (StreamBox)** [Miao et al., ATC 2017] — prioritizes the query
+  whose window deadline is closest (the substream with the earliest
+  watermark), scheduling it until a watermark is processed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
+from repro.spe.query import Query
+
+
+class DefaultScheduler(Scheduler):
+    """Flink default: processor-sharing, no prioritization."""
+
+    name = "Default"
+
+    def plan(self, ctx: SchedulerContext) -> Plan:
+        allocations = [Allocation(q) for q in ctx.queries]
+        return Plan(allocations, mode="share")
+
+
+class FCFSScheduler(Scheduler):
+    """First-Come-First-Served over queued record arrival times."""
+
+    name = "FCFS"
+
+    def plan(self, ctx: SchedulerContext) -> Plan:
+        def key(q: Query) -> float:
+            arrival = q.oldest_queued_arrival()
+            return arrival if arrival is not None else math.inf
+
+        ordered = sorted(ctx.queries, key=key)
+        return Plan([Allocation(q) for q in ordered], mode="priority")
+
+
+class RoundRobinScheduler(Scheduler):
+    """Fixed-quantum rotation over the deployed queries."""
+
+    name = "RR"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def plan(self, ctx: SchedulerContext) -> Plan:
+        queries = list(ctx.queries)
+        if not queries:
+            return Plan([], mode="priority")
+        start = self._cursor % len(queries)
+        rotation = queries[start:] + queries[:start]
+        self._cursor = (start + ctx.cores) % len(queries)
+        return Plan([Allocation(q) for q in rotation], mode="priority")
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class HighestRateScheduler(Scheduler):
+    """Highest Rate: output events per CPU millisecond, descending.
+
+    For a pipeline o_1..o_m the productivity of admitting one event is
+    ``prod(sel_i) / sum_i(cost_i * prod_{j<i} sel_j)`` — the global output
+    rate of the path. Measured selectivities/costs are used once observed,
+    as HR's runtime implementation would.
+    """
+
+    name = "HR"
+
+    @staticmethod
+    def productivity(query: Query) -> float:
+        out_fraction = 1.0
+        cpu = 0.0
+        for op in query.operators:
+            cpu += out_fraction * op.cost_per_event_ms
+            sel = (
+                op.stats.measured_selectivity
+                if op.stats.events_in > 0
+                else op.selectivity
+            )
+            out_fraction *= sel
+        if cpu <= 0:
+            return math.inf
+        return out_fraction / cpu
+
+    def plan(self, ctx: SchedulerContext) -> Plan:
+        ordered = sorted(ctx.queries, key=self.productivity, reverse=True)
+        return Plan([Allocation(q) for q in ordered], mode="priority")
+
+
+class StreamBoxScheduler(Scheduler):
+    """StreamBox: earliest upcoming window deadline first.
+
+    SBox allocates resources to the substream with the earliest watermark;
+    at query granularity this is the query whose pending window deadline is
+    closest. It is agnostic of queue sizes and network delay (the paper's
+    critique), so a query whose deadline is near but whose input cannot
+    complete for a long time still hoards resources.
+    """
+
+    name = "SBox"
+
+    def plan(self, ctx: SchedulerContext) -> Plan:
+        def key(q: Query) -> float:
+            ddl = q.next_window_deadline()
+            return ddl if not math.isnan(ddl) else math.inf
+
+        ordered = sorted(ctx.queries, key=key)
+        return Plan([Allocation(q) for q in ordered], mode="priority")
+
+
+ALL_BASELINES = {
+    "Default": DefaultScheduler,
+    "FCFS": FCFSScheduler,
+    "RR": RoundRobinScheduler,
+    "HR": HighestRateScheduler,
+    "SBox": StreamBoxScheduler,
+}

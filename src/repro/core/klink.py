@@ -1,0 +1,217 @@
+"""The Klink scheduler (Sec. 3).
+
+Klink's evaluator runs once per scheduling cycle. Under normal operation
+it applies **SWM prioritization**: every query's slack — the idle time it
+can absorb without missing its next window deadline — is computed from the
+estimated ingestion time of its next sweeping watermark (Sec. 3.1/3.2),
+and queries execute in least-slack order. For windowed joins, a slack
+value is computed per input stream and the query's slack is the minimum
+(Sec. 3.3). When memory utilization reaches the bound ``b``, Klink
+transiently switches to **memory management** (Sec. 3.4), scheduling the
+pipeline prefixes that release the most in-flight events, until either
+half of the consumed memory is freed or a time budget elapses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.estimator import SwmEstimate, SwmIngestionEstimator
+from repro.core.memory_policy import best_prefix
+from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
+from repro.core.slack import expected_slack, interval_steps
+from repro.spe.query import Query
+
+
+class KlinkScheduler(Scheduler):
+    """Progress-aware least-slack scheduler with memory management."""
+
+    name = "Klink"
+
+    #: modelled CPU cost of one slide of Algorithm 1's probability window
+    step_overhead_ms = 0.02
+    #: modelled per-query fixed evaluation cost per cycle (runtime data
+    #: collection + priority bookkeeping)
+    per_query_overhead_ms = 0.05
+
+    def __init__(
+        self,
+        *,
+        confidence: float = 95.0,
+        history: int = 400,
+        memory_threshold: float = 0.2,
+        mm_release_fraction: float = 0.5,
+        mm_max_ms: float = 3000.0,
+        enable_memory_management: bool = True,
+        estimator: Optional[SwmIngestionEstimator] = None,
+    ) -> None:
+        self.confidence = confidence
+        self.history = history
+        self.memory_threshold = memory_threshold
+        self.mm_release_fraction = mm_release_fraction
+        self.mm_max_ms = mm_max_ms
+        self.enable_memory_management = enable_memory_management
+        self.estimator = estimator or SwmIngestionEstimator(
+            history=history, confidence=confidence
+        )
+        if enable_memory_management:
+            self.name = "Klink"
+        else:
+            self.name = "Klink (w/o MM)"
+        # memory-management episode state
+        self._mm_active = False
+        self._mm_entry_util = 0.0
+        self._mm_entry_time = 0.0
+        # diagnostics
+        self.last_slacks: Dict[str, float] = {}
+        self.mm_episodes = 0
+        self._last_overhead_ms = 0.0
+
+    # -- slack evaluation (Algorithm 1) ------------------------------------
+
+    def query_slack(self, query: Query, ctx: SchedulerContext) -> Tuple[float, int]:
+        """Minimum slack over the query's input streams, plus the number of
+        Algorithm-1 window slides performed (for the overhead model).
+
+        Two regimes:
+
+        * An SWM has already been *ingested* but not yet propagated to the
+          window operator (it sits queued behind data events). Its window
+          deadline has elapsed: every millisecond now adds directly to
+          output latency, so the slack is the (negative) age of the SWM
+          minus the queued work — minimizing SWM propagation delay
+          (observation (i) of Sec. 2.2).
+        * Otherwise the SWM is still in flight, and the expected slack of
+          Algorithm 1 applies: schedule the query early enough that its
+          queues are drained by the time the SWM arrives (observation (ii)).
+        """
+        cost = query.pending_cost_ms()
+        urgent = self._pending_swm_slack(query, ctx.now)
+        if urgent is not None:
+            return urgent, 0
+        slacks: List[float] = []
+        steps = 0
+        for binding in query.bindings:
+            estimate = self.estimator.estimate(
+                binding, phase=query.deployed_at
+            )
+            if estimate is None:
+                continue
+            slacks.append(
+                expected_slack(estimate, ctx.now, cost, ctx.cycle_ms)
+            )
+            steps += interval_steps(estimate, ctx.now, ctx.cycle_ms)
+        if not slacks:
+            # No window operator downstream: the query has no deadline to
+            # protect. It is scheduled after deadline-bearing queries.
+            return math.inf, steps
+        return min(slacks), steps
+
+    @staticmethod
+    def _pending_swm_slack(query: Query, now: float) -> Optional[float]:
+        """Slack when an ingested-but-unprocessed SWM is queued, else None.
+
+        An unprocessed SWM exists when some window operator still buffers a
+        pane whose deadline is covered by the watermarks every input stream
+        has already delivered to the engine (for joins: the minimum across
+        inputs, Sec. 3.3). Overdue queries are ranked purely by elapsed
+        deadline (earliest-deadline-first): the queued work is sunk cost
+        that must be paid whichever order is chosen, and subtracting it
+        (Eq. 1 with the known past ``w``) would bias against large queues
+        and starve them.
+        """
+        progresses = [b.progress for b in query.bindings if b.progress is not None]
+        if not progresses:
+            return None
+        ingested_wm = min(p.last_watermark_ts for p in progresses)
+        swept_deadline = math.inf
+        for op in query.windowed_operators():
+            deadlines = op.pending_pane_deadlines()
+            if deadlines and deadlines[0] <= ingested_wm:
+                swept_deadline = min(swept_deadline, deadlines[0])
+        if math.isinf(swept_deadline):
+            return None
+        return swept_deadline - now
+
+    # -- memory-management mode transitions (Sec. 3.4) ------------------------
+
+    def _update_mm_state(self, ctx: SchedulerContext) -> bool:
+        if not self.enable_memory_management:
+            return False
+        util = ctx.memory_utilization
+        if not self._mm_active:
+            if util >= self.memory_threshold:
+                self._mm_active = True
+                self._mm_entry_util = util
+                self._mm_entry_time = ctx.now
+                self.mm_episodes += 1
+        else:
+            freed_enough = util <= self._mm_entry_util * (
+                1.0 - self.mm_release_fraction
+            )
+            timed_out = (ctx.now - self._mm_entry_time) >= self.mm_max_ms
+            if freed_enough or timed_out:
+                self._mm_active = False
+        return self._mm_active
+
+    # -- plan -----------------------------------------------------------------
+
+    def plan(self, ctx: SchedulerContext) -> Plan:
+        mm = self._update_mm_state(ctx)
+        slack_of: Dict[str, float] = {}
+        total_steps = 0
+        for query in ctx.queries:
+            slack, steps = self.query_slack(query, ctx)
+            slack_of[query.query_id] = slack
+            total_steps += steps
+        self.last_slacks = slack_of
+        self._last_overhead_ms = (
+            self.per_query_overhead_ms * len(ctx.queries)
+            + self.step_overhead_ms * total_steps
+        )
+        ordered = sorted(ctx.queries, key=lambda q: slack_of[q.query_id])
+        if not mm:
+            return Plan([Allocation(q) for q in ordered], mode="priority")
+        # Memory management (Sec. 3.4): run each query's memory-releasing
+        # prefix, prioritizing the queries providing the largest potential
+        # reduction in memory utilization; slack breaks ties so latency is
+        # still protected among equal releases.
+        scored: List[Tuple[float, float, Allocation]] = []
+        for query in ordered:
+            prefix = best_prefix(query, ctx.cycle_ms)
+            if prefix is None:
+                continue
+            if prefix.worthwhile:
+                ops = list(prefix.operators)
+                if query.sink not in ops:
+                    # The output operator always runs: window results and
+                    # SWMs emitted by the prefix must reach it (invariant
+                    # (ii), Sec. 2.2), and sinks are nearly free to run.
+                    ops.append(query.sink)
+                allocation = Allocation(query, ops)
+                release = prefix.achievable_removal(ctx.cycle_ms)
+            else:
+                allocation = Allocation(query)
+                release = 0.0
+            scored.append((release, slack_of[query.query_id], allocation))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return Plan(
+            [alloc for _, _, alloc in scored],
+            mode="priority",
+            # Prefix-only scheduling stalls the sources feeding the
+            # unscheduled suffix operators (credit-based flow control), so
+            # input is throttled while memory management runs.
+            throttle_ingestion=True,
+        )
+
+    def overhead_ms(self, ctx: SchedulerContext) -> float:
+        return self._last_overhead_ms
+
+    def reset(self) -> None:
+        self._mm_active = False
+        self._mm_entry_util = 0.0
+        self._mm_entry_time = 0.0
+        self.last_slacks = {}
+        self.mm_episodes = 0
+        self._last_overhead_ms = 0.0

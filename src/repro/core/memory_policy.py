@@ -1,0 +1,96 @@
+"""Klink's memory-management prioritization (Sec. 3.4).
+
+When memory utilization crosses the bound ``b``, Klink switches from
+least-slack scheduling to a policy that maximizes the number of in-flight
+events *removed* from the system: it prefers pipeline prefixes ending at
+low-selectivity operators (filters, windows with partial aggregation),
+because pushing queued events through them shrinks the queue mass.
+
+For a query ``q`` with operators ``o_1..o_m`` (topological order), the
+events removed by running the prefix ending at ``o_k`` is
+
+    p^q_k = sum_{i<=k} sz_i * (1 - prod_{j=i..k} S_j)
+
+where ``sz_i`` is the queue length at ``o_i`` and ``S_j`` the selectivity
+of ``o_j`` — the generalization of the paper's ``p^q_k = sz_q * (1 -
+prod_{i=1..k} S_i)`` to events queued mid-pipeline. Because a cycle only
+provides ``r`` ms, the achievable removal is scaled by the fraction of the
+prefix's pending cost that fits in ``r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.spe.operators import Operator
+from repro.spe.query import Query
+
+
+@dataclass
+class PrefixPlan:
+    """The best memory-releasing prefix for one query."""
+
+    operators: List[Operator]
+    total_removal: float        # events removed by fully draining the prefix
+    pending_cost_ms: float      # CPU cost of fully draining the prefix
+
+    @property
+    def worthwhile(self) -> bool:
+        return self.total_removal > 0.0
+
+    def achievable_removal(self, cycle_ms: float) -> float:
+        """Events removable within one scheduling cycle of ``cycle_ms``."""
+        if self.pending_cost_ms <= 0:
+            return self.total_removal
+        return self.total_removal * min(1.0, cycle_ms / self.pending_cost_ms)
+
+
+def _measured_selectivity(op: Operator) -> float:
+    if op.stats.events_in > 0:
+        return op.stats.measured_selectivity
+    return op.selectivity
+
+
+def best_prefix(query: Query, cycle_ms: float) -> Optional[PrefixPlan]:
+    """Choose the pipeline prefix maximizing total event removal.
+
+    Removal is the number of queued events that *leave the system* when the
+    prefix is fully drained (Sec. 3.4's ``p^q_k``); a strictly longer
+    prefix never removes fewer events, so among prefixes with equal
+    removal the shortest (cheapest) is preferred — in practice the prefix
+    ends at the last low-selectivity operator, typically the window, whose
+    partial aggregation absorbs raw events into compact state.
+
+    Returns ``None`` when the query holds no queued events at all.
+    """
+    ops = query.operators
+    queues = [op.queued_events for op in ops]
+    if not any(queues):
+        return None
+    sels = [_measured_selectivity(op) for op in ops]
+    costs = [op.cost_per_event_ms for op in ops]
+
+    best: Optional[Tuple[float, int, float]] = None  # (removal, k, cost)
+    # surviving[i] tracks prod_{j=i..k} S_j as k grows; cost_through[i]
+    # tracks the cost of pushing one event from o_i through o_k.
+    surviving = [1.0] * len(ops)
+    cost_through = [0.0] * len(ops)
+    for k in range(len(ops)):
+        for i in range(k + 1):
+            cost_through[i] += surviving[i] * costs[k]
+            surviving[i] *= sels[k]
+        removal = sum(
+            queues[i] * (1.0 - surviving[i]) for i in range(k + 1)
+        )
+        pending_cost = sum(
+            queues[i] * cost_through[i] for i in range(k + 1)
+        )
+        if best is None or removal > best[0] + 1e-9:
+            best = (removal, k, pending_cost)
+    removal, k, pending_cost = best
+    return PrefixPlan(
+        operators=list(ops[: k + 1]),
+        total_removal=removal,
+        pending_cost_ms=pending_cost,
+    )

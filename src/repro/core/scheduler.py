@@ -1,0 +1,117 @@
+"""Runtime scheduling framework (the infrastructure of Sec. 5).
+
+The paper adds to Flink a *state-based* scheduling framework: a single
+scheduler orchestrates operator execution, collecting runtime information
+(the tuple **I**) each cycle and deciding which tasks run for the next
+``r`` milliseconds. This module defines the policy-side abstractions; the
+engine (:mod:`repro.spe.engine`) implements the orchestration side with
+the paper's four API calls (``register``, ``collect``, ``start``,
+``pause``).
+
+A policy receives a :class:`SchedulerContext` — live views of every
+deployed query, the engine clock, and memory utilization — and returns a
+:class:`Plan`:
+
+* ``mode="priority"``: allocations are a priority order; the engine grants
+  each query at most one core-slice of ``r`` ms per cycle, walking the
+  order until the cycle's CPU budget (cores x r) is exhausted. This is how
+  Klink, HR, SBox, FCFS, and RR express their decisions.
+* ``mode="share"``: the budget is divided evenly among queries with queued
+  work — processor-sharing, modelling Flink's default scheduler, which
+  performs no query-level prioritization (threads share cores under the
+  OS scheduler).
+
+An allocation may restrict execution to a subset of a query's operators
+(a pipeline *prefix*), which Klink's memory-management policy uses to run
+exactly the operator sequence that releases the most memory (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.spe.engine
+    from repro.spe.operators import Operator
+    from repro.spe.query import Query
+
+
+@dataclass
+class Allocation:
+    """One scheduling decision: run ``query`` (or a subset of its ops)."""
+
+    query: Query
+    operators: Optional[List[Operator]] = None  # None -> whole pipeline
+
+    def runnable_operators(self) -> List[Operator]:
+        return self.operators if self.operators is not None else self.query.operators
+
+
+@dataclass
+class Plan:
+    """A cycle's scheduling decision.
+
+    ``throttle_ingestion`` marks plans that deliberately stall the sources:
+    when a policy schedules only pipeline prefixes (Klink's memory
+    management), the unscheduled downstream operators' input buffers fill
+    and the SPE's credit-based flow control pushes back to the sources, so
+    new input is shed for the duration — the engine honours the flag by
+    throttling generation exactly as it does under memory backpressure.
+    """
+
+    allocations: List[Allocation]
+    mode: str = "priority"  # "priority" | "share"
+    overhead_ms: float = 0.0
+    throttle_ingestion: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("priority", "share"):
+            raise ValueError(f"unknown plan mode: {self.mode}")
+        if self.overhead_ms < 0:
+            raise ValueError(f"negative overhead: {self.overhead_ms}")
+
+
+@dataclass
+class SchedulerContext:
+    """The runtime information tuple I handed to the policy each cycle.
+
+    Queries expose the per-operator runtime data (queue sizes, measured
+    costs and selectivities, window deadlines, delay histories via their
+    source bindings) that the data-acquisition module collects.
+    """
+
+    now: float
+    cycle_ms: float
+    cores: int
+    queries: Sequence[Query]
+    memory_utilization: float = 0.0
+
+    def active_queries(self) -> List[Query]:
+        """Queries with at least one queued record."""
+        return [q for q in self.queries if q.has_work()]
+
+
+class Scheduler(abc.ABC):
+    """Base class for runtime scheduling policies."""
+
+    #: human-readable policy name (used in bench output)
+    name: str = "base"
+
+    #: fixed bookkeeping cost charged per evaluated query per cycle (ms).
+    #: Policies with heavier evaluation override :meth:`overhead_ms`.
+    per_query_overhead_ms: float = 0.0005
+
+    @abc.abstractmethod
+    def plan(self, ctx: SchedulerContext) -> Plan:
+        """Return this cycle's plan. Called once per scheduling cycle."""
+
+    def overhead_ms(self, ctx: SchedulerContext) -> float:
+        """CPU cost of running the policy itself this cycle."""
+        return self.per_query_overhead_ms * len(ctx.queries)
+
+    def reset(self) -> None:
+        """Clear any cross-cycle state (called between experiment runs)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

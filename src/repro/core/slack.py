@@ -1,0 +1,86 @@
+"""Expected-slack computation (Sec. 3.2, Algorithm 1, Eqs. 7-10).
+
+Slack is the idle time a query can absorb without missing its next window
+deadline: ``sl_q(t) = (w_{n+1} - t) - cost_q(t)`` (Eq. 1). Because the SWM
+ingestion time ``w_{n+1}`` is a random variable, Algorithm 1 computes the
+*expected* slack by sliding a window of the scheduling-cycle length ``r``
+across the estimator's confidence interval, weighting each candidate
+ingestion range by its conditional probability given that the SWM has not
+arrived yet (Eq. 9), with probabilities taken from the normal distribution
+via the Gaussian Q-function (Eq. 10).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.estimator import SwmEstimate
+
+#: below this survival probability the SWM is treated as overdue
+_OVERDUE_EPS = 1e-6
+
+
+def gaussian_q(z: float) -> float:
+    """Gaussian Q-function: P(Z > z) for standard normal Z."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def interval_probability(estimate: SwmEstimate, lo: float, hi: float) -> float:
+    """P(lo <= w <= hi) under the estimate's normal distribution (Eq. 10)."""
+    if hi <= lo:
+        return 0.0
+    sigma = max(estimate.std, 1e-12)
+    return gaussian_q((lo - estimate.mean) / sigma) - gaussian_q(
+        (hi - estimate.mean) / sigma
+    )
+
+
+def survival(estimate: SwmEstimate, t: float) -> float:
+    """P(w >= t): probability the SWM has not yet been ingested at time t."""
+    sigma = max(estimate.std, 1e-12)
+    return gaussian_q((t - estimate.mean) / sigma)
+
+
+def expected_slack(
+    estimate: SwmEstimate,
+    now: float,
+    cost_ms: float,
+    cycle_ms: float,
+) -> float:
+    """Expected slack of one stream (Algorithm 1, ComputeExpectedSlack).
+
+    Args:
+        estimate: next-SWM ingestion distribution with its confidence
+            interval [t_min, t_max] (Algorithm 1 lines 1-8).
+        now: current engine time ``t``.
+        cost_ms: ``cost_q(t)`` — CPU time to process the query's queued
+            events end-to-end.
+        cycle_ms: the scheduling cycle length ``r`` (slide of the window).
+
+    Returns:
+        Expected slack in milliseconds; negative values mean the query is
+        already behind (its SWM is due or overdue and its queue cannot be
+        drained in the remaining time).
+    """
+    if cycle_ms <= 0:
+        raise ValueError(f"cycle must be positive: {cycle_ms}")
+    denom = survival(estimate, now)
+    if denom < _OVERDUE_EPS or estimate.t_max <= now:
+        # SWM overdue (or virtually certain to have arrived): the remaining
+        # margin is whatever is left of the interval, minus the queued work.
+        return (estimate.t_max - now) - cost_ms
+    slack = 0.0
+    x = max(now, estimate.t_min)
+    while x <= estimate.t_max:
+        pr = interval_probability(estimate, x, x + cycle_ms) / denom
+        slack += pr * ((x + cycle_ms - now) - cost_ms)
+        x += cycle_ms
+    return slack
+
+
+def interval_steps(estimate: SwmEstimate, now: float, cycle_ms: float) -> int:
+    """Number of window slides Algorithm 1 performs (overhead model input)."""
+    lo = max(now, estimate.t_min)
+    if estimate.t_max <= lo:
+        return 0
+    return int(math.ceil((estimate.t_max - lo) / cycle_ms))

@@ -1,0 +1,13 @@
+"""Distributed Klink (Sec. 4): multi-node deployment with decentralized
+per-node schedulers and delay/cost information forwarding."""
+
+from repro.distributed.placement import PhysicalPlan
+from repro.distributed.forwarding import ForwardingBoard, QueryInfo
+from repro.distributed.cluster import DistributedEngine
+
+__all__ = [
+    "PhysicalPlan",
+    "ForwardingBoard",
+    "QueryInfo",
+    "DistributedEngine",
+]

@@ -1,0 +1,261 @@
+"""Multi-node engine with decentralized per-node schedulers (Sec. 4).
+
+Each node runs its own scheduler instance over the operators the physical
+plan placed on it, with its own CPU budget (``cores_per_node`` x cycle).
+Cross-node edges carry an RPC transfer latency. Klink instances exchange
+delay and cost information through a :class:`ForwardingBoard` whose
+remote reads lag by the RPC latency, exactly as the paper's design: the
+node hosting a query's source publishes watermark/delay statistics
+downstream, and every node hosting downstream operators publishes its
+local pending cost upstream (Fig. 5's forwarding arrows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import SwmEstimate
+from repro.core.klink import KlinkScheduler
+from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
+from repro.core.slack import expected_slack, interval_steps
+from repro.distributed.forwarding import ForwardingBoard, QueryInfo
+from repro.distributed.placement import PhysicalPlan
+from repro.spe.engine import Engine
+from repro.spe.memory import MemoryConfig
+from repro.spe.query import Query
+from repro.spe.streams import Channel
+
+
+class DistributedKlinkScheduler(KlinkScheduler):
+    """Klink instance running on one node of a distributed deployment.
+
+    Differences from the single-node evaluator:
+
+    * the slack of a query whose source node is elsewhere is computed from
+      the delay information that node *forwarded* (one RPC period stale);
+    * the cost term aggregates the local pending cost with the costs the
+      downstream/upstream nodes published (cost forwarding).
+    """
+
+    def __init__(self, node: int, board: ForwardingBoard, plan: PhysicalPlan, **kwargs):
+        super().__init__(**kwargs)
+        self.node = node
+        self.board = board
+        self.physical_plan = plan
+        self.name = f"Klink@node{node}"
+
+    def _forwarded_cost(self, query: Query, now: float) -> float:
+        """Total pending cost: every node's published share for the query."""
+        total = 0.0
+        for node in range(self.physical_plan.n_nodes):
+            info = self.board.read(self.node, node, query.query_id, now)
+            if info is not None:
+                total += info.pending_cost_ms
+        return total
+
+    def query_slack(self, query: Query, ctx: SchedulerContext) -> Tuple[float, int]:
+        source_node = self.physical_plan.source_node(query)
+        if source_node == self.node:
+            return super().query_slack(query, ctx)
+        info = self.board.read(self.node, source_node, query.query_id, ctx.now)
+        if info is None or info.next_deadline is None:
+            return math.inf, 0
+        cost = self._forwarded_cost(query, ctx.now)
+        # Pending-SWM check against the forwarded watermark state and the
+        # locally hosted window operators' buffered panes.
+        local_windows = [
+            op
+            for op in query.windowed_operators()
+            if self.physical_plan.node_of_operator(op) == self.node
+        ]
+        for op in local_windows:
+            deadlines = op.pending_pane_deadlines()
+            if deadlines and deadlines[0] <= info.last_watermark_ts:
+                return deadlines[0] - ctx.now, 0
+        # Proactive branch from forwarded delay moments.
+        spec = query.bindings[0].spec
+        generation = self.estimator.swm_generation_time(
+            info.next_deadline,
+            spec.watermark_period_ms,
+            spec.lateness_ms,
+            phase=query.deployed_at,
+        )
+        std = max(math.sqrt(max(info.chi - info.mu * info.mu, 0.0)), 1.0)
+        mean = generation + info.mu
+        estimate = SwmEstimate(
+            mean=mean,
+            std=std,
+            t_min=mean - self.estimator.z * std,
+            t_max=mean + self.estimator.z * std,
+            deadline=info.next_deadline,
+            swm_generation=generation,
+        )
+        slack = expected_slack(estimate, ctx.now, cost, ctx.cycle_ms)
+        return slack, interval_steps(estimate, ctx.now, ctx.cycle_ms)
+
+
+class DistributedEngine(Engine):
+    """Engine spanning several nodes with per-node scheduling.
+
+    ``scheduler_factory`` builds one policy instance per node; pass
+    :class:`DistributedKlinkScheduler` via :meth:`with_klink` or any
+    query-level baseline via :meth:`with_policy`.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        scheduler_factory: Callable[[int, ForwardingBoard, PhysicalPlan], Scheduler],
+        plan: PhysicalPlan,
+        *,
+        cores_per_node: int = 24,
+        cycle_ms: float = 120.0,
+        memory: MemoryConfig | None = None,
+        seed: int = 0,
+        rpc_latency_ms: float = 2.0,
+    ) -> None:
+        self.plan = plan
+        self.board = ForwardingBoard(rpc_latency_ms)
+        self.cores_per_node = cores_per_node
+        self.node_schedulers: List[Scheduler] = [
+            scheduler_factory(node, self.board, plan)
+            for node in range(plan.n_nodes)
+        ]
+        super().__init__(
+            queries,
+            self.node_schedulers[0],
+            cores=cores_per_node * plan.n_nodes,
+            cycle_ms=cycle_ms,
+            memory=memory,
+            seed=seed,
+        )
+        # Attach transfer latency to cross-node edges.
+        self._delayed_channels: List[Channel] = []
+        for query in self.queries:
+            for op in plan.cross_node_edges(query):
+                channel = op.output
+                if channel is not None:
+                    channel.latency_ms = rpc_latency_ms
+                    self._delayed_channels.append(channel)
+
+    # -- convenience constructors ------------------------------------------------
+
+    @classmethod
+    def with_klink(
+        cls,
+        queries: Sequence[Query],
+        plan: PhysicalPlan,
+        *,
+        enable_memory_management: bool = True,
+        **engine_kwargs,
+    ) -> "DistributedEngine":
+        def factory(node: int, board: ForwardingBoard, p: PhysicalPlan) -> Scheduler:
+            return DistributedKlinkScheduler(
+                node, board, p, enable_memory_management=enable_memory_management
+            )
+
+        return cls(queries, factory, plan, **engine_kwargs)
+
+    @classmethod
+    def with_policy(
+        cls,
+        queries: Sequence[Query],
+        plan: PhysicalPlan,
+        policy_factory: Callable[[], Scheduler],
+        **engine_kwargs,
+    ) -> "DistributedEngine":
+        def factory(node: int, board: ForwardingBoard, p: PhysicalPlan) -> Scheduler:
+            return policy_factory()
+
+        return cls(queries, factory, plan, **engine_kwargs)
+
+    # -- forwarding ---------------------------------------------------------------
+
+    def _publish_info(self, now: float) -> None:
+        for query in self.queries:
+            unit = query.unit_costs()
+            source_node = self.plan.source_node(query)
+            for node in range(self.plan.n_nodes):
+                local_ops = self.plan.local_operators(query, node)
+                if not local_ops:
+                    continue
+                info = QueryInfo(published_at=now)
+                info.pending_cost_ms = sum(
+                    op.queued_events * unit[op] for op in local_ops
+                )
+                if node == source_node:
+                    progresses = [
+                        b.progress for b in query.bindings if b.progress is not None
+                    ]
+                    if progresses:
+                        mus = [p.current_epoch_mean()[0] for p in progresses]
+                        chis = [p.current_epoch_mean()[1] for p in progresses]
+                        info.mu = sum(mus) / len(mus)
+                        info.chi = sum(chis) / len(chis)
+                        info.last_watermark_ts = min(
+                            p.last_watermark_ts for p in progresses
+                        )
+                        deadlines = [
+                            p.next_deadline
+                            for p in progresses
+                            if p.next_deadline is not None
+                        ]
+                        info.next_deadline = min(deadlines) if deadlines else None
+                        ingests = [
+                            p.last_swm_ingest_time
+                            for p in progresses
+                            if p.last_swm_ingest_time is not None
+                        ]
+                        info.last_swm_ingest_time = max(ingests) if ingests else None
+                self.board.publish(node, query.query_id, info)
+
+    # -- cycle override --------------------------------------------------------------
+
+    def step_cycle(self) -> None:
+        self.clock.advance(self.cycle_ms)
+        now = self.clock.now
+        for channel in self._delayed_channels:
+            channel.release(now)
+        backpressured = (
+            self.memory.backpressured(self.queries) or self._throttle_requested
+        )
+        if backpressured:
+            self.metrics.backpressure_cycles += 1
+        self._generate_until(now, shed_events=backpressured)
+        self._deliver_ingestions(now, backpressured)
+        self._publish_info(now)
+        ctx = self._collect()
+        throttle = False
+        used_total = 0.0
+        overhead_total = 0.0
+        for node, scheduler in enumerate(self.node_schedulers):
+            plan = scheduler.plan(ctx)
+            throttle = throttle or plan.throttle_ingestion
+            overhead = plan.overhead_ms + scheduler.overhead_ms(ctx)
+            overhead_total += overhead
+            tax = self.memory.pressure_tax(ctx.memory_utilization)
+            budget = max(
+                0.0, (self.cores_per_node * self.cycle_ms - overhead) * (1.0 - tax)
+            )
+            localized = self._localize(plan, node)
+            used_total += self._execute_plan(localized, budget)
+        self._throttle_requested = throttle
+        self.metrics.scheduler_overhead_ms += overhead_total
+        self.metrics.busy_cpu_ms += used_total
+        self._drain_sink_metrics()
+        self._sample_utilization(used_total + overhead_total)
+        self.metrics.cycles += 1
+
+    def _localize(self, plan: Plan, node: int) -> Plan:
+        """Restrict a node's plan to the operators hosted on that node."""
+        allocations = []
+        for alloc in plan.allocations:
+            local = [
+                op
+                for op in alloc.runnable_operators()
+                if self.plan.node_of[id(op)] == node
+            ]
+            if local:
+                allocations.append(Allocation(alloc.query, local))
+        return Plan(allocations, mode=plan.mode)

@@ -1,0 +1,94 @@
+"""Physical plans: operator-to-node assignment.
+
+The SPE devises a physical plan mapping operators to nodes at deployment
+time; Klink "functions orthogonally to the deployment problem and is
+designed to work with any physical plan" (Sec. 4). Two plans are
+provided:
+
+* ``locality`` — whole query pipelines are placed on one node,
+  round-robin across nodes. This mirrors the paper's Fig. 6e setup, which
+  uses "Flink's built-in mechanism that considers the type of operators
+  and memory locality to minimize data mobility".
+* ``split`` — each pipeline is cut into contiguous segments spread over
+  consecutive nodes (the Fig. 5 scenario), exercising cross-node record
+  transfer and the delay/cost information forwarding rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.spe.operators import Operator
+from repro.spe.query import Query
+
+
+@dataclass
+class PhysicalPlan:
+    """Maps every operator (by id) to a node index."""
+
+    n_nodes: int
+    node_of: Dict[int, int] = field(default_factory=dict)
+
+    def node_of_operator(self, op: Operator) -> int:
+        return self.node_of[id(op)]
+
+    def source_node(self, query: Query) -> int:
+        """Node hosting the query's first operator (watermark origin)."""
+        return self.node_of_operator(query.operators[0])
+
+    def local_operators(self, query: Query, node: int) -> List[Operator]:
+        return [
+            op for op in query.operators if self.node_of[id(op)] == node
+        ]
+
+    def is_split(self, query: Query) -> bool:
+        nodes = {self.node_of[id(op)] for op in query.operators}
+        return len(nodes) > 1
+
+    def cross_node_edges(self, query: Query) -> List[Operator]:
+        """Operators whose output crosses a node boundary."""
+        out = []
+        for op in query.operators:
+            down = query.downstream_of(op)
+            if down is not None and self.node_of[id(op)] != self.node_of[id(down)]:
+                out.append(op)
+        return out
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def locality(cls, queries: Sequence[Query], n_nodes: int) -> "PhysicalPlan":
+        """Whole pipelines colocated; queries spread round-robin."""
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node: {n_nodes}")
+        plan = cls(n_nodes=n_nodes)
+        for i, query in enumerate(queries):
+            node = i % n_nodes
+            for op in query.operators:
+                plan.node_of[id(op)] = node
+        return plan
+
+    @classmethod
+    def split(
+        cls, queries: Sequence[Query], n_nodes: int, segments: int = 2
+    ) -> "PhysicalPlan":
+        """Cut each pipeline into up to ``segments`` contiguous pieces.
+
+        Segment boundaries respect topological order, so every cross-node
+        edge points "forward" (upstream node -> downstream node), matching
+        the Fig. 5 deployment where node A holds the source half and node
+        B the window/output half.
+        """
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node: {n_nodes}")
+        segments = max(1, min(segments, n_nodes))
+        plan = cls(n_nodes=n_nodes)
+        for i, query in enumerate(queries):
+            ops = query.operators
+            n_segs = min(segments, len(ops))
+            per_seg = -(-len(ops) // n_segs)  # ceil division
+            for j, op in enumerate(ops):
+                seg = min(j // per_seg, n_segs - 1)
+                plan.node_of[id(op)] = (i + seg) % n_nodes
+        return plan

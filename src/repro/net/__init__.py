@@ -1,0 +1,17 @@
+"""Network delay models used to perturb event ingestion times."""
+
+from repro.net.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    UniformDelay,
+    ZipfDelay,
+)
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "ZipfDelay",
+    "ExponentialDelay",
+]

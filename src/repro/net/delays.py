@@ -1,0 +1,160 @@
+"""Network delay distributions.
+
+The paper evaluates Klink under synthetic network delays drawn from Uniform
+and Zipf distributions ("We also generate Zipf distributed network delays
+with a distribution constant of 0.99", Sec. 6.2). These models perturb the
+time between an event's generation at the source and its ingestion by the
+SPE. Each model exposes a hard ``bound`` — the maximum delay it can
+produce — which workloads use to set the watermark lateness allowance so
+that watermark semantics (no event older than the watermark follows it)
+hold by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class DelayModel(abc.ABC):
+    """Samples per-batch network delays (milliseconds)."""
+
+    def __init__(self, rng: np.random.Generator | None = None, seed: int | None = None):
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def sample(self) -> float:
+        """Draw one delay value in milliseconds."""
+
+    @property
+    @abc.abstractmethod
+    def bound(self) -> float:
+        """Upper bound on delays this model can produce (ms)."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected delay (ms)."""
+
+    def reseed(self, seed: int) -> None:
+        """Reset the random stream (used to make experiment repetitions vary)."""
+        self._rng = np.random.default_rng(seed)
+
+
+class ConstantDelay(DelayModel):
+    """Every event is delayed by exactly ``delay_ms``. Useful in tests."""
+
+    def __init__(self, delay_ms: float):
+        super().__init__(seed=0)
+        if delay_ms < 0:
+            raise ValueError(f"negative delay: {delay_ms}")
+        self._delay = float(delay_ms)
+
+    def sample(self) -> float:
+        return self._delay
+
+    @property
+    def bound(self) -> float:
+        return self._delay
+
+    @property
+    def mean(self) -> float:
+        return self._delay
+
+
+class UniformDelay(DelayModel):
+    """Delays uniform over ``[low_ms, high_ms]`` (the paper's Uniform case)."""
+
+    def __init__(self, low_ms: float = 0.0, high_ms: float = 500.0, *, seed: int | None = None):
+        super().__init__(seed=seed)
+        if not 0 <= low_ms <= high_ms:
+            raise ValueError(f"invalid uniform range [{low_ms}, {high_ms}]")
+        self._low = float(low_ms)
+        self._high = float(high_ms)
+
+    def sample(self) -> float:
+        return float(self._rng.uniform(self._low, self._high))
+
+    @property
+    def bound(self) -> float:
+        return self._high
+
+    @property
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+
+class ZipfDelay(DelayModel):
+    """Zipf-distributed delays with exponent ``a`` (paper uses 0.99).
+
+    Delay ranks ``1..n_ranks`` are drawn with probability proportional to
+    ``rank**-a`` and mapped onto ``[0, max_ms]`` by a power curve
+    (``shape`` > 1 compresses the bulk towards small delays and stretches
+    the rare high ranks towards the bound). Rank 1 — the most probable —
+    maps to the smallest delay, giving the heavy right tail that "injects
+    higher unpredictability into network delay" and stresses the SWM
+    ingestion estimator in Fig. 9c.
+    """
+
+    def __init__(
+        self,
+        a: float = 0.99,
+        max_ms: float = 500.0,
+        n_ranks: int = 100,
+        shape: float = 2.0,
+        *,
+        seed: int | None = None,
+    ):
+        super().__init__(seed=seed)
+        if a <= 0:
+            raise ValueError(f"zipf exponent must be positive: {a}")
+        if n_ranks < 2:
+            raise ValueError(f"need at least 2 ranks: {n_ranks}")
+        if shape <= 0:
+            raise ValueError(f"shape must be positive: {shape}")
+        self._max = float(max_ms)
+        self._n_ranks = n_ranks
+        ranks = np.arange(1, n_ranks + 1, dtype=float)
+        weights = ranks ** (-a)
+        self._probs = weights / weights.sum()
+        self._delays = ((ranks - 1) / (n_ranks - 1)) ** shape * self._max
+
+    def sample(self) -> float:
+        idx = self._rng.choice(self._n_ranks, p=self._probs)
+        return float(self._delays[idx])
+
+    @property
+    def bound(self) -> float:
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self._probs, self._delays))
+
+
+class ExponentialDelay(DelayModel):
+    """Exponential delays truncated at ``cap_ms`` (extra model for ablations)."""
+
+    def __init__(self, mean_ms: float = 100.0, cap_ms: float | None = None, *, seed: int | None = None):
+        super().__init__(seed=seed)
+        if mean_ms <= 0:
+            raise ValueError(f"mean must be positive: {mean_ms}")
+        self._mean = float(mean_ms)
+        self._cap = float(cap_ms) if cap_ms is not None else 10.0 * mean_ms
+
+    def sample(self) -> float:
+        return min(float(self._rng.exponential(self._mean)), self._cap)
+
+    @property
+    def bound(self) -> float:
+        return self._cap
+
+    @property
+    def mean(self) -> float:
+        # Analytic mean of min(X, cap) for exponential X: m * (1 - e^{-cap/m}).
+        import math
+
+        return self._mean * (1.0 - math.exp(-self._cap / self._mean))

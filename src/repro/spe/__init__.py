@@ -1,0 +1,78 @@
+"""The stream processing engine substrate (discrete-event simulator)."""
+
+from repro.spe.engine import Engine
+from repro.spe.events import EventBatch, LatencyMarker, Watermark
+from repro.spe.memory import GIB, MemoryConfig, MemoryModel
+from repro.spe.metrics import RunMetrics, cdf_points, mean_with_ci, percentile
+from repro.spe.chaining import FusedOperator, fuse_stateless, fusible_runs
+from repro.spe.operators import (
+    CountWindowedAggregate,
+    FilterOperator,
+    FlatMapOperator,
+    MapOperator,
+    Operator,
+    SinkOperator,
+    WindowedAggregate,
+    WindowedJoin,
+)
+from repro.spe.reorder import ReorderBuffer
+from repro.spe.watermarks import (
+    BoundedOutOfOrderness,
+    PunctuatedWatermarks,
+    WatermarkGeneratorOperator,
+    WatermarkStrategy,
+)
+from repro.spe.query import Query, SourceBinding, SourceSpec, StreamProgress, chain
+from repro.spe.simtime import VirtualClock, millis, seconds
+from repro.spe.streams import Channel
+from repro.spe.windows import (
+    CountWindows,
+    Pane,
+    SlidingEventTimeWindows,
+    TumblingEventTimeWindows,
+    WindowAssigner,
+)
+
+__all__ = [
+    "Engine",
+    "EventBatch",
+    "Watermark",
+    "LatencyMarker",
+    "MemoryConfig",
+    "MemoryModel",
+    "GIB",
+    "RunMetrics",
+    "percentile",
+    "cdf_points",
+    "mean_with_ci",
+    "Operator",
+    "MapOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "WindowedAggregate",
+    "WindowedJoin",
+    "CountWindowedAggregate",
+    "SinkOperator",
+    "ReorderBuffer",
+    "FusedOperator",
+    "WatermarkStrategy",
+    "BoundedOutOfOrderness",
+    "PunctuatedWatermarks",
+    "WatermarkGeneratorOperator",
+    "fuse_stateless",
+    "fusible_runs",
+    "Query",
+    "SourceBinding",
+    "SourceSpec",
+    "StreamProgress",
+    "chain",
+    "VirtualClock",
+    "seconds",
+    "millis",
+    "Channel",
+    "Pane",
+    "WindowAssigner",
+    "SlidingEventTimeWindows",
+    "TumblingEventTimeWindows",
+    "CountWindows",
+]

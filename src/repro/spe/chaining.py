@@ -1,0 +1,86 @@
+"""Operator chaining (fusion).
+
+Flink deploys applications as Tasks that are "either operators or a
+chain of operators" (Sec. 5): consecutive stateless operators are fused
+into one task so records flow through function calls instead of queues.
+Fusion reduces per-record queue handling and scheduling granularity at
+the cost of coarser scheduling decisions.
+
+:func:`fuse_stateless` builds the fused equivalent of a stateless
+segment: per-event cost is the sum of each member's cost discounted by
+the selectivity of the members before it (an event dropped by the first
+filter never pays the later costs), and selectivity is the product.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.spe.operators import Operator, _WindowedOperatorBase
+from repro.spe.operators import CountWindowedAggregate, SinkOperator
+
+
+def is_stateless(op: Operator) -> bool:
+    """True for operators that hold no window/accumulator state."""
+    return not isinstance(
+        op, (_WindowedOperatorBase, CountWindowedAggregate, SinkOperator)
+    ) and type(op).__name__ != "ReorderBuffer"
+
+
+class FusedOperator(Operator):
+    """A chain of stateless operators deployed as a single task."""
+
+    def __init__(self, name: str, members: Sequence[Operator]):
+        if not members:
+            raise ValueError("cannot fuse an empty chain")
+        for member in members:
+            if not is_stateless(member):
+                raise ValueError(
+                    f"cannot fuse stateful operator {member.name!r}"
+                )
+            if len(member.inputs) != 1:
+                raise ValueError(
+                    f"cannot fuse multi-input operator {member.name!r}"
+                )
+        cost = 0.0
+        selectivity = 1.0
+        for member in members:
+            cost += selectivity * member.cost_per_event_ms
+            selectivity *= member.selectivity
+        super().__init__(
+            name,
+            cost_per_event_ms=cost,
+            selectivity=selectivity,
+            out_bytes_per_event=members[-1].out_bytes_per_event,
+        )
+        self.members: List[Operator] = list(members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = "+".join(m.name.rsplit(".", 1)[-1] for m in self.members)
+        return f"FusedOperator({inner})"
+
+
+def fuse_stateless(ops: Sequence[Operator], name: str | None = None) -> FusedOperator:
+    """Fuse a run of stateless unary operators into one task."""
+    fused_name = name or "+".join(op.name for op in ops)
+    return FusedOperator(fused_name, ops)
+
+
+def fusible_runs(operators: Sequence[Operator]) -> List[List[Operator]]:
+    """Partition a pipeline into maximal runs of fusible operators.
+
+    Returns the list of runs with length >= 2 (single operators gain
+    nothing from fusion). Stateful operators break runs.
+    """
+    runs: List[List[Operator]] = []
+    current: List[Operator] = []
+    for op in operators:
+        if is_stateless(op) and len(op.inputs) == 1:
+            current.append(op)
+        else:
+            if len(current) >= 2:
+                runs.append(current)
+            current = []
+    if len(current) >= 2:
+        runs.append(current)
+    return runs

@@ -1,0 +1,414 @@
+"""Single-node stream processing engine (discrete-event simulator).
+
+The engine plays the role of Flink's runtime in the paper's Sec. 5
+framework. It owns the virtual clock, generates source traffic through the
+network delay models, maintains operator input queues, and — once per
+scheduling cycle of ``r`` milliseconds — *collects* runtime information,
+asks the active policy for a :class:`~repro.core.scheduler.Plan`, and
+*starts* the planned tasks with the cycle's CPU budget while the others
+stay *paused* (the register/collect/start/pause API of Sec. 5).
+
+CPU model
+---------
+A node has ``cores`` cores; one cycle provides ``cores * r`` CPU
+milliseconds. A query pipeline executes sequentially, so a single query
+can consume at most ``r`` ms per cycle (one core-slice); a priority plan
+therefore effectively selects which ``cores`` queries run this cycle.
+Unused budget is lost (cores idle), mirroring a real deployment.
+
+Ingestion model
+---------------
+Sources generate event batches every ``gen_batch_ms`` with event-times
+equal to generation time; each batch samples a network delay and enters
+the engine's ingestion queue at ``generation + delay``. Watermarks are
+generated every ``watermark_period_ms`` carrying ``generation - lateness``
+and are subject to the same network. When the memory model signals
+backpressure, delivery into operator queues is suspended (throttling the
+input rate, as Flink's backpressure does) while generation continues —
+events age in the network buffer and latency grows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import count as _counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
+from repro.spe.events import EventBatch, LatencyMarker, Watermark
+from repro.spe.memory import MemoryConfig, MemoryModel
+from repro.spe.metrics import RunMetrics, UtilizationSample
+from repro.spe.operators import Operator, SinkOperator
+from repro.spe.query import Query, SourceBinding
+from repro.spe.simtime import VirtualClock
+
+
+class Engine:
+    """Runs a set of queries under a scheduling policy on one node."""
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        scheduler: Scheduler,
+        *,
+        cores: int = 24,
+        cycle_ms: float = 120.0,
+        memory: MemoryConfig | None = None,
+        seed: int = 0,
+        tracer=None,
+    ) -> None:
+        if cores < 1:
+            raise ValueError(f"need at least one core: {cores}")
+        if cycle_ms <= 0:
+            raise ValueError(f"cycle must be positive: {cycle_ms}")
+        if not queries:
+            raise ValueError("engine needs at least one query")
+        self.queries = list(queries)
+        self.scheduler = scheduler
+        self.cores = cores
+        self.cycle_ms = float(cycle_ms)
+        self.memory = MemoryModel(memory)
+        self.tracer = tracer
+        self.clock = VirtualClock()
+        self.metrics = RunMetrics()
+        self._rng = np.random.default_rng(seed)
+        self._seq = _counter()
+        # (ingest_time, seq, query, binding, record)
+        self._network: List[Tuple[float, int, Query, SourceBinding, object]] = []
+        self._throttle_requested = False  # set by plans that stall sources
+        self._swm_drained: Dict[str, int] = {q.query_id: 0 for q in self.queries}
+        self._marker_drained: Dict[str, int] = {q.query_id: 0 for q in self.queries}
+        self._events_in_prev = 0.0
+        self._register()
+
+    # -- Sec. 5 framework: register -------------------------------------------
+
+    def _register(self) -> None:
+        """Register every task (operator) with the runtime scheduler."""
+        seen_ids = set()
+        for query in self.queries:
+            if query.query_id in seen_ids:
+                raise ValueError(f"duplicate query id: {query.query_id}")
+            seen_ids.add(query.query_id)
+
+    # -- source generation -------------------------------------------------------
+
+    def _generate_until(self, horizon: float, shed_events: bool) -> None:
+        """Generate source records with generation time <= ``horizon``.
+
+        Under backpressure (``shed_events``), payload generation for the
+        elapsed interval is shed — the throttled producer slows down and
+        those events never enter the system, which is what bounds memory
+        and caps throughput (Fig. 6d's plateau). Watermarks and latency
+        markers are control traffic and keep flowing, so event-time keeps
+        progressing while the input rate is throttled.
+        """
+        for query in self.queries:
+            for binding in query.bindings:
+                self._generate_binding(query, binding, horizon, shed_events)
+
+    def _generate_binding(
+        self, query: Query, binding: SourceBinding, horizon: float, shed_events: bool
+    ) -> None:
+        spec = binding.spec
+        start = query.deployed_at
+        if binding.next_gen_time < start:
+            binding.next_gen_time = start
+            binding.next_watermark_time = start + spec.watermark_period_ms
+            binding.next_marker_time = start + spec.marker_period_ms
+        # Event batches: one per generation interval, rate-modulated by the
+        # source's burst state machine (load spikes, Sec. 1).
+        while binding.next_gen_time + spec.gen_batch_ms <= horizon:
+            g0 = binding.next_gen_time
+            g1 = g0 + spec.gen_batch_ms
+            count = self._current_rate(binding, g0) * spec.gen_batch_ms / 1000.0
+            if shed_events:
+                self.metrics.events_shed += count
+            elif count > 0:
+                delay = spec.delay_model.sample()
+                batch = EventBatch(
+                    count=count,
+                    t_start=g0,
+                    t_end=g1,
+                    delay=delay,
+                    bytes_per_event=spec.bytes_per_event,
+                )
+                self._push_network(g1 + delay, query, binding, batch)
+            binding.next_gen_time = g1
+        # Watermarks: periodic, timestamp lags generation by the lateness
+        # allowance (Sec. 2.2's "current time minus five seconds" pattern).
+        # Suppressed for sources whose pipeline generates watermarks with
+        # a WatermarkGeneratorOperator instead (Sec. 2.2 case ii).
+        while spec.emit_watermarks and binding.next_watermark_time <= horizon:
+            g = binding.next_watermark_time
+            wm = Watermark(g - spec.lateness_ms, source_id=binding.source_id)
+            delay = spec.delay_model.sample()
+            self._push_network(g + delay, query, binding, wm)
+            binding.next_watermark_time += spec.watermark_period_ms
+        # Latency markers: 200 ms period per source (Sec. 6.1.2).
+        while binding.next_marker_time <= horizon:
+            g = binding.next_marker_time
+            delay = spec.delay_model.sample()
+            self._push_network(g + delay, query, binding, LatencyMarker(created_at=g))
+            binding.next_marker_time += spec.marker_period_ms
+
+    def _current_rate(self, binding: SourceBinding, at: float) -> float:
+        """Source rate at generation time ``at``, per the burst state."""
+        spec = binding.spec
+        if spec.burst_factor <= 1.0:
+            return spec.rate_eps
+        while binding.burst_state_until <= at:
+            binding.bursting = not binding.bursting
+            mean = (
+                spec.burst_on_mean_ms if binding.bursting else spec.burst_off_mean_ms
+            )
+            binding.burst_state_until += float(binding.rng.exponential(mean))
+        factor = spec.burst_factor if binding.bursting else spec.quiet_factor
+        return spec.rate_eps * factor
+
+    def _push_network(
+        self, ingest_time: float, query: Query, binding: SourceBinding, record: object
+    ) -> None:
+        heapq.heappush(
+            self._network, (ingest_time, next(self._seq), query, binding, record)
+        )
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def _deliver_ingestions(self, now: float, backpressured: bool) -> None:
+        """Move network records with ingest time <= now into source queues.
+
+        Under backpressure, payload batches already in flight are deferred
+        to the next cycle (they age in the network buffer) while control
+        records (watermarks, markers) are still delivered — watermarks
+        occupy no queue memory and progressing event-time is what lets
+        window operators fire and release state.
+        """
+        deferred = []
+        stalled: Dict[str, bool] = {}
+        while self._network and self._network[0][0] <= now:
+            _, _, query, binding, record = heapq.heappop(self._network)
+            qid = query.query_id
+            if qid not in stalled:
+                stalled[qid] = self.memory.query_stalled(query)
+            if stalled[qid]:
+                # Credit-based flow control: the whole channel stalls —
+                # events, watermarks, and markers keep their order and age
+                # in the source buffer until credit frees up.
+                deferred.append((query, binding, record))
+                continue
+            if backpressured and isinstance(record, EventBatch):
+                deferred.append((query, binding, record))
+                continue
+            progress = binding.progress
+            if isinstance(record, EventBatch):
+                binding.channel.push(record, now)
+                if progress is not None:
+                    progress.observe_delay(record.delay, record.count)
+                self.metrics.total_events_ingested += record.count
+            elif isinstance(record, Watermark):
+                if progress is not None and record.timestamp <= progress.last_watermark_ts:
+                    continue  # late watermark: dropped by the SPE (Sec. 2.2)
+                if progress is not None:
+                    progress.observe_watermark(record.timestamp, now)
+                binding.channel.push(record, now)
+            else:  # LatencyMarker
+                binding.channel.push(record, now)
+        for query, binding, record in deferred:
+            self._push_network(now + self.cycle_ms, query, binding, record)
+
+    # -- Sec. 5 framework: collect ------------------------------------------------
+
+    def _collect(self) -> SchedulerContext:
+        return SchedulerContext(
+            now=self.clock.now,
+            cycle_ms=self.cycle_ms,
+            cores=self.cores,
+            queries=self.queries,
+            memory_utilization=self.memory.utilization(self.queries),
+        )
+
+    # -- Sec. 5 framework: start/pause (plan execution) ------------------------------
+
+    def _execute_plan(self, plan: Plan, budget_ms: float) -> float:
+        """Run the planned tasks within ``budget_ms``; return CPU ms used."""
+        if plan.mode == "share":
+            return self._execute_share(plan.allocations, budget_ms)
+        return self._execute_priority(plan.allocations, budget_ms)
+
+    def _execute_priority(
+        self, allocations: List[Allocation], budget_ms: float
+    ) -> float:
+        """Grant core time in priority order until the budget runs out.
+
+        Each scheduled query's operators run as parallel task threads, so
+        one query can absorb up to ``cycle_ms`` per *operator* in a cycle
+        (it rides load bursts on several cores); queries further down the
+        order get whatever budget the higher-priority ones left.
+        """
+        used_total = 0.0
+        for alloc in allocations:
+            remaining = budget_ms - used_total
+            if remaining <= 1e-9:
+                break
+            slice_ms = min(
+                self.cycle_ms * len(alloc.runnable_operators()), remaining
+            )
+            used_total += self._run_allocation(alloc, slice_ms)
+        return used_total
+
+    def _execute_share(
+        self, allocations: List[Allocation], budget_ms: float
+    ) -> float:
+        """Operator-level processor sharing (Flink's Default behaviour).
+
+        Every operator is a task thread; the OS scheduler shares cores
+        fairly across *threads*, not queries, so the cycle budget is split
+        evenly over all operators with queued work. Each thread can use at
+        most one core for the cycle (``cycle_ms``). Leftover budget is
+        re-offered in further rounds (work-conserving), which also lets
+        records produced by upstream operators in round one be consumed
+        downstream in round two.
+        """
+        all_ops = [
+            op for alloc in allocations for op in alloc.runnable_operators()
+        ]
+        return self._fair_share_ops(all_ops, budget_ms, cap_per_op=self.cycle_ms)
+
+    def _fair_share_ops(
+        self, operators: List[Operator], budget_ms: float, cap_per_op: float
+    ) -> float:
+        """Fairly share ``budget_ms`` across operator threads.
+
+        Several rounds re-offer unused budget to operators that still have
+        work (work-conserving) and let records emitted upstream in an
+        earlier round be consumed downstream in a later one. ``cap_per_op``
+        bounds any single thread to one core for the cycle.
+        """
+        used_total = 0.0
+        used_per_op: Dict[int, float] = {}
+        now = self.clock.now
+        for _ in range(3):
+            ops = [
+                op
+                for op in operators
+                if op.has_work()
+                and used_per_op.get(id(op), 0.0) < cap_per_op - 1e-9
+            ]
+            if not ops or budget_ms - used_total <= 1e-9:
+                break
+            share = (budget_ms - used_total) / len(ops)
+            for op in ops:
+                headroom = cap_per_op - used_per_op.get(id(op), 0.0)
+                grant = min(share, headroom, budget_ms - used_total)
+                if grant <= 1e-9:
+                    continue
+                used = op.step(grant, now)
+                used_per_op[id(op)] = used_per_op.get(id(op), 0.0) + used
+                used_total += used
+        return used_total
+
+    def _run_allocation(self, alloc: Allocation, budget_ms: float) -> float:
+        """Run one query's (or pipeline prefix's) task threads for a slice.
+
+        The scheduled query's operator threads timeshare the granted
+        core-slice; fair sharing with redistribution rounds approximates
+        concurrent pipeline execution, with bottleneck operators absorbing
+        the budget that fast operators leave unused. Records produced
+        upstream in an early round reach downstream operators (and the
+        sink) within the same slice — end-to-end propagation, which is
+        what Klink's prioritization is designed to buy.
+        """
+        return self._fair_share_ops(
+            alloc.runnable_operators(), budget_ms, cap_per_op=self.cycle_ms
+        )
+
+    # -- metrics ----------------------------------------------------------------
+
+    def _drain_sink_metrics(self) -> None:
+        for query in self.queries:
+            sink = query.sink
+            seen = self._swm_drained[query.query_id]
+            fresh = sink.swm_latencies[seen:]
+            if fresh:
+                self._swm_drained[query.query_id] = len(sink.swm_latencies)
+                ideal = query.pipeline_cost_per_event_ms()
+                lat_list = self.metrics.per_query_swm_latencies.setdefault(
+                    query.query_id, []
+                )
+                for _, latency in fresh:
+                    self.metrics.swm_latencies.append(latency)
+                    lat_list.append(latency)
+                    if ideal > 0:
+                        self.metrics.slowdowns.append(latency / ideal)
+            seen_m = self._marker_drained[query.query_id]
+            fresh_m = sink.marker_latencies[seen_m:]
+            if fresh_m:
+                self._marker_drained[query.query_id] = len(sink.marker_latencies)
+                self.metrics.marker_latencies.extend(lat for _, lat in fresh_m)
+
+    def _sample_utilization(self, cpu_used_ms: float) -> None:
+        events_in = sum(
+            op.stats.events_in for q in self.queries for op in q.operators
+        )
+        delta = events_in - self._events_in_prev
+        self._events_in_prev = events_in
+        self.metrics.total_events_processed += delta
+        self.metrics.samples.append(
+            UtilizationSample(
+                time=self.clock.now,
+                memory_bytes=self.memory.used_bytes(self.queries),
+                cpu_fraction=cpu_used_ms / (self.cores * self.cycle_ms),
+                events_processed=delta,
+            )
+        )
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, duration_ms: float) -> RunMetrics:
+        """Advance the simulation by ``duration_ms`` and return metrics."""
+        if duration_ms <= 0:
+            raise ValueError(f"duration must be positive: {duration_ms}")
+        end = self.clock.now + duration_ms
+        while self.clock.now < end - 1e-9:
+            self.step_cycle()
+        self.metrics.duration_ms = self.clock.now
+        self.metrics.late_events_dropped = sum(
+            op.stats.late_events_dropped for q in self.queries for op in q.operators
+        )
+        return self.metrics
+
+    def step_cycle(self) -> None:
+        """Execute one scheduling cycle of ``cycle_ms``."""
+        self.clock.advance(self.cycle_ms)
+        now = self.clock.now
+        backpressured = self.memory.backpressured(self.queries) or self._throttle_requested
+        if backpressured:
+            self.metrics.backpressure_cycles += 1
+        self._generate_until(now, shed_events=backpressured)
+        self._deliver_ingestions(now, backpressured)
+        ctx = self._collect()
+        plan = self.scheduler.plan(ctx)
+        self._throttle_requested = plan.throttle_ingestion
+        overhead = plan.overhead_ms + self.scheduler.overhead_ms(ctx)
+        self.metrics.scheduler_overhead_ms += overhead
+        # Memory pressure (heap churn, GC) taxes the cycle's useful CPU.
+        tax = self.memory.pressure_tax(ctx.memory_utilization)
+        budget = max(0.0, (self.cores * self.cycle_ms - overhead) * (1.0 - tax))
+        used = self._execute_plan(plan, budget)
+        self.metrics.busy_cpu_ms += used
+        self._drain_sink_metrics()
+        self._sample_utilization(used + overhead)
+        self.metrics.cycles += 1
+        if self.tracer is not None:
+            self.tracer.on_cycle(
+                time=now,
+                memory_utilization=ctx.memory_utilization,
+                cpu_used_ms=used,
+                overhead_ms=overhead,
+                backpressured=backpressured,
+                plan=plan,
+            )

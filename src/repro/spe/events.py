@@ -1,0 +1,117 @@
+"""Stream records flowing between operators.
+
+To keep a pure-Python simulation tractable at the paper's event rates
+(10,000+ events per second per query), payload events are represented as
+*batches*: one :class:`EventBatch` stands for ``count`` events generated over
+the event-time interval ``[t_start, t_end]`` that experienced the same
+network delay. All scheduling-relevant quantities — queue sizes, processing
+cost, selectivity, memory footprint, window assignment — are functions of
+counts and timestamp ranges, so batching preserves the behaviour the paper
+measures while cutting interpreter overhead by orders of magnitude.
+
+Watermarks and latency markers remain individual records because their
+per-record semantics (progress signalling, latency probing) are the object
+of study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count as _counter
+
+_marker_ids = _counter()
+
+
+@dataclass
+class EventBatch:
+    """A group of payload events sharing generation interval and delay.
+
+    Attributes:
+        count: Number of events represented (may be fractional mid-pipeline
+            after selectivity scaling; sources always emit integral counts).
+        t_start: Earliest event-time in the batch (ms).
+        t_end: Latest event-time in the batch (ms), ``>= t_start``. Event
+            times are treated as uniformly spread over ``[t_start, t_end]``
+            when a batch must be split across window panes.
+        delay: Network delay the events experienced between generation at
+            the source and ingestion by the engine (ms). Klink's runtime
+            data acquisition reads this to build its delay history.
+        bytes_per_event: Serialized size used by the memory model.
+    """
+
+    count: float
+    t_start: float
+    t_end: float
+    delay: float = 0.0
+    bytes_per_event: int = 100
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"negative batch count: {self.count}")
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"batch interval inverted: [{self.t_start}, {self.t_end}]"
+            )
+
+    @property
+    def bytes(self) -> float:
+        """Total memory footprint of the batch."""
+        return self.count * self.bytes_per_event
+
+    def split_fraction(self, fraction: float) -> "EventBatch":
+        """Return a new batch holding ``fraction`` of this batch's events.
+
+        Used when a scheduling cycle's budget runs out mid-batch; the
+        remainder stays queued. The event-time range is kept identical on
+        both halves (events are interleaved in time, not prefix-ordered).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction out of range: {fraction}")
+        return EventBatch(
+            count=self.count * fraction,
+            t_start=self.t_start,
+            t_end=self.t_end,
+            delay=self.delay,
+            bytes_per_event=self.bytes_per_event,
+        )
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """Progress event: no event with event-time ``<= timestamp`` follows.
+
+    ``source_id`` identifies which input stream of a multi-input (join)
+    operator carried the watermark; single-input pipelines leave it 0.
+    ``is_swm`` is set by a window operator when this watermark unblocked at
+    least one pane — it is then a *sweeping watermark* for downstream
+    operators, and the sink measures output latency on it (Sec. 2.2).
+    """
+
+    timestamp: float
+    source_id: int = 0
+    is_swm: bool = False
+
+
+@dataclass(frozen=True)
+class LatencyMarker:
+    """Probe injected at the source to measure propagation delay.
+
+    The paper injects one marker per source every 200 ms; the sink records
+    ``clock.now - created_at`` on arrival.
+    """
+
+    created_at: float
+    marker_id: int = field(default_factory=lambda: next(_marker_ids))
+
+
+Record = object  # EventBatch | Watermark | LatencyMarker (py39-friendly alias)
+
+
+def is_data(record: object) -> bool:
+    """True for payload-bearing records (batches)."""
+    return isinstance(record, EventBatch)
+
+
+def is_control(record: object) -> bool:
+    """True for control records (watermarks and latency markers)."""
+    return isinstance(record, (Watermark, LatencyMarker))

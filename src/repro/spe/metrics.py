@@ -1,0 +1,160 @@
+"""Metrics collection: latency, throughput, slowdown, utilization.
+
+Mirrors Sec. 6.1.2 of the paper:
+
+* **Output latency** — the propagation delay of SWMs: SWM event-time
+  subtracted from the engine clock at the moment the sink processes it.
+* **Latency markers** — probes injected every 200 ms at each source to
+  sample event propagation delay with negligible overhead.
+* **Throughput** — aggregate events processed per second over all
+  operators.
+* **Slowdown** — SWM propagation delay divided by the ideal end-to-end
+  cost of processing a single event through the pipeline.
+* **Utilization time series** — memory bytes and CPU busy fraction sampled
+  every cycle (the paper samples every 200 ms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Percentile with linear interpolation; NaN for empty input."""
+    if not values:
+        return math.nan
+    return float(np.percentile(np.asarray(values, dtype=float), pct))
+
+
+def cdf_points(values: Sequence[float], pcts: Iterable[float]) -> List[Tuple[float, float]]:
+    """(percentile, latency) pairs for CDF figures (Figs. 6b, 7c, 7d)."""
+    arr = np.asarray(sorted(values), dtype=float)
+    out = []
+    for pct in pcts:
+        out.append((pct, float(np.percentile(arr, pct)) if len(arr) else math.nan))
+    return out
+
+
+@dataclass
+class UtilizationSample:
+    """One per-cycle utilization snapshot."""
+
+    time: float
+    memory_bytes: float
+    cpu_fraction: float
+    events_processed: float
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated results of one engine run."""
+
+    duration_ms: float = 0.0
+    swm_latencies: List[float] = field(default_factory=list)
+    marker_latencies: List[float] = field(default_factory=list)
+    slowdowns: List[float] = field(default_factory=list)
+    per_query_swm_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    samples: List[UtilizationSample] = field(default_factory=list)
+    total_events_processed: float = 0.0
+    total_events_ingested: float = 0.0
+    events_shed: float = 0.0
+    late_events_dropped: float = 0.0
+    scheduler_overhead_ms: float = 0.0
+    busy_cpu_ms: float = 0.0  # CPU-ms spent processing events (all cores)
+    backpressure_cycles: int = 0
+    cycles: int = 0
+
+    # -- latency ------------------------------------------------------------
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.swm_latencies:
+            return math.nan
+        return float(np.mean(self.swm_latencies))
+
+    def latency_percentile(self, pct: float) -> float:
+        return percentile(self.swm_latencies, pct)
+
+    def latency_cdf(self, pcts: Iterable[float] = (40, 50, 60, 70, 80, 90, 95, 99)):
+        return cdf_points(self.swm_latencies, pcts)
+
+    # -- throughput / slowdown ----------------------------------------------
+
+    @property
+    def throughput_eps(self) -> float:
+        """Aggregate events processed per second across all operators."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.total_events_processed / (self.duration_ms / 1000.0)
+
+    @property
+    def mean_slowdown(self) -> float:
+        if not self.slowdowns:
+            return math.nan
+        return float(np.mean(self.slowdowns))
+
+    # -- utilization ----------------------------------------------------------
+
+    @property
+    def mean_memory_bytes(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.memory_bytes for s in self.samples]))
+
+    def memory_percentile(self, pct: float) -> float:
+        return percentile([s.memory_bytes for s in self.samples], pct)
+
+    @property
+    def mean_cpu_fraction(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.cpu_fraction for s in self.samples]))
+
+    def cpu_percentile(self, pct: float) -> float:
+        return percentile([s.cpu_fraction for s in self.samples], pct)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Scheduler overhead as a fraction of total CPU time delivered
+        (the paper reports it as % of throughput, Fig. 9d): the share of
+        busy CPU-milliseconds the SPE spent running the scheduling
+        algorithm instead of processing events."""
+        denom = self.busy_cpu_ms + self.scheduler_overhead_ms
+        return self.scheduler_overhead_ms / denom if denom > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary of headline numbers (used by benches)."""
+        return {
+            "mean_latency_ms": self.mean_latency_ms,
+            "p90_latency_ms": self.latency_percentile(90),
+            "p99_latency_ms": self.latency_percentile(99),
+            "throughput_eps": self.throughput_eps,
+            "mean_slowdown": self.mean_slowdown,
+            "mean_memory_gb": self.mean_memory_bytes / (1024 ** 3),
+            "mean_cpu_pct": 100.0 * self.mean_cpu_fraction,
+            "overhead_pct": 100.0 * self.overhead_fraction,
+        }
+
+
+def mean_with_ci(values: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """(mean, half-width of the confidence interval) across repetitions.
+
+    The paper reports 95% confidence intervals over >= 10 runs; we use the
+    normal approximation (scipy's t would match for tiny n, but repetitions
+    in the harness default to small counts where either is indicative).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return math.nan, math.nan
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    from scipy import stats
+
+    mean = float(arr.mean())
+    sem = float(stats.sem(arr))
+    half = sem * float(stats.t.ppf((1 + confidence) / 2.0, arr.size - 1))
+    return mean, half

@@ -1,0 +1,412 @@
+"""Queries: operator pipelines plus the runtime bookkeeping Klink consumes.
+
+A :class:`Query` is a DAG of operators ending in a single
+:class:`~repro.spe.operators.SinkOperator`. Multiple source streams are
+supported (windowed joins); each source is described by a
+:class:`SourceSpec` and bound to an input channel of its first operator.
+
+Each source binding carries a :class:`StreamProgress` tracker — the
+per-stream slice of the paper's *runtime data acquisition* module. It
+observes network delays of ingested batches, detects SWM ingestions (a
+watermark whose timestamp covers the next un-swept window deadline of the
+stream's downstream window operator), demarcates epochs, and accumulates
+the per-epoch delay statistics (mu_n, chi_n of Eqs. 3-4) that Klink's
+estimator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.delays import DelayModel
+from repro.spe.operators import (
+    Operator,
+    SinkOperator,
+    WindowedJoin,
+    _WindowedOperatorBase,
+)
+from repro.spe.windows import WindowAssigner
+
+
+@dataclass
+class SourceSpec:
+    """Static description of one input stream.
+
+    Attributes:
+        name: Human-readable stream name.
+        rate_eps: Event generation rate (events per second).
+        watermark_period_ms: Watermark injection period p_q (Sec. 2.2:
+            watermarks are injected periodically, independent of data rate).
+        lateness_ms: Watermark allowance — a watermark emitted at
+            generation time g carries timestamp ``g - lateness_ms``.
+            Choosing the delay model's bound makes every event on-time.
+        delay_model: Network delay distribution applied between generation
+            and ingestion.
+        bytes_per_event: Serialized event size for the memory model.
+        gen_batch_ms: Generation granularity — one EventBatch per interval.
+        marker_period_ms: Latency-marker injection period (paper: 200 ms).
+        burst_factor: Rate multiplier while the source is bursting. Real
+            streams carry "fluctuating or unpredictable load spikes"
+            (Sec. 1); sources alternate between a burst state at
+            ``burst_factor`` x the base rate and a quiet state scaled so
+            the long-run mean remains ``rate_eps``. Set to 1.0 for a
+            perfectly steady source.
+        burst_duty: Long-run fraction of time spent bursting.
+        burst_on_mean_ms: Mean burst duration (exponentially distributed).
+        burst_off_mean_ms: Mean quiet duration; left ``None`` it is derived
+            from the duty cycle (``on * (1 - duty) / duty``) so the
+            long-run mean rate stays exactly ``rate_eps``.
+    """
+
+    name: str
+    rate_eps: float
+    watermark_period_ms: float
+    lateness_ms: float
+    delay_model: DelayModel
+    bytes_per_event: int = 100
+    gen_batch_ms: float = 50.0
+    marker_period_ms: float = 200.0
+    burst_factor: float = 1.0
+    burst_duty: float = 0.3
+    burst_on_mean_ms: float = 3_000.0
+    burst_off_mean_ms: Optional[float] = None
+    #: disable to generate watermarks mid-pipeline instead (Sec. 2.2 case
+    #: (ii), via repro.spe.watermarks.WatermarkGeneratorOperator)
+    emit_watermarks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rate_eps < 0:
+            raise ValueError(f"negative rate: {self.rate_eps}")
+        if self.watermark_period_ms <= 0:
+            raise ValueError(f"watermark period must be positive: {self.watermark_period_ms}")
+        if self.gen_batch_ms <= 0:
+            raise ValueError(f"generation interval must be positive: {self.gen_batch_ms}")
+        if self.burst_factor < 1.0:
+            raise ValueError(f"burst factor must be >= 1: {self.burst_factor}")
+        if not 0 < self.burst_duty < 1:
+            raise ValueError(f"burst duty must be in (0, 1): {self.burst_duty}")
+        if self.burst_factor * self.burst_duty >= 1.0:
+            raise ValueError(
+                "burst_factor * burst_duty must stay below 1 so the quiet "
+                f"rate remains positive: {self.burst_factor} * {self.burst_duty}"
+            )
+        if self.burst_off_mean_ms is None:
+            self.burst_off_mean_ms = (
+                self.burst_on_mean_ms * (1.0 - self.burst_duty) / self.burst_duty
+            )
+
+    @property
+    def quiet_factor(self) -> float:
+        """Rate multiplier in the quiet state (keeps the long-run mean)."""
+        return (1.0 - self.burst_factor * self.burst_duty) / (1.0 - self.burst_duty)
+
+
+@dataclass
+class EpochStats:
+    """Finalized delay statistics for one epoch (inputs to Eqs. 3-6)."""
+
+    mu: float    # mean network delay over the epoch's events
+    chi: float   # mean squared network delay
+    swm_ingest_time: float  # engine time the epoch's closing SWM arrived
+    swm_timestamp: float    # event-time the closing SWM carried
+
+
+class StreamProgress:
+    """Per-input-stream progress tracking (epochs, delays, SWM ingestions).
+
+    Epoch ``n+1`` starts after the ingestion of the ``n``-th SWM (Sec. 3).
+    Whether an arriving watermark is sweeping is decided against the next
+    un-swept deadline of the stream's downstream window operator, known
+    from its window assigner — applications never mark SWMs themselves.
+    """
+
+    def __init__(
+        self,
+        assigner: Optional[WindowAssigner],
+        watermark_period_ms: float,
+        history: int = 400,
+        start_time: float = 0.0,
+    ) -> None:
+        self.assigner = assigner
+        self.watermark_period_ms = watermark_period_ms
+        self.history_limit = history
+        self.epoch_index = 0
+        self.epochs: Deque[EpochStats] = deque(maxlen=history)
+        # accumulators for the in-flight epoch
+        self._delay_sum = 0.0
+        self._delay_sq_sum = 0.0
+        self._delay_weight = 0.0
+        self.last_watermark_ts = -math.inf
+        self.last_swm_ingest_time: Optional[float] = None
+        self.next_deadline: Optional[float] = (
+            assigner.next_deadline(max(start_time, 0.0))
+            if assigner is not None
+            else None
+        )
+
+    # -- observations ------------------------------------------------------
+
+    def observe_delay(self, delay: float, weight: float = 1.0) -> None:
+        """Record the network delay of ``weight`` ingested events."""
+        self._delay_sum += delay * weight
+        self._delay_sq_sum += delay * delay * weight
+        self._delay_weight += weight
+
+    def observe_watermark(self, timestamp: float, now: float) -> bool:
+        """Record a watermark ingestion; returns True if it was an SWM."""
+        if timestamp <= self.last_watermark_ts:
+            return False  # late watermark, dropped by the SPE
+        self.last_watermark_ts = timestamp
+        if self.assigner is None or self.next_deadline is None:
+            return False
+        if timestamp < self.next_deadline:
+            return False
+        self._finalize_epoch(now, timestamp)
+        self.next_deadline = self.assigner.next_deadline(timestamp)
+        return True
+
+    def _finalize_epoch(self, now: float, wm_ts: float) -> None:
+        if self._delay_weight > 0:
+            mu = self._delay_sum / self._delay_weight
+            chi = self._delay_sq_sum / self._delay_weight
+        elif self.epochs:
+            # No events this epoch (idle stream): carry the last profile.
+            mu, chi = self.epochs[-1].mu, self.epochs[-1].chi
+        else:
+            mu, chi = 0.0, 0.0
+        self.epochs.append(EpochStats(mu, chi, now, wm_ts))
+        self.epoch_index += 1
+        self.last_swm_ingest_time = now
+        self._delay_sum = 0.0
+        self._delay_sq_sum = 0.0
+        self._delay_weight = 0.0
+
+    # -- estimator inputs ----------------------------------------------------
+
+    def current_epoch_mean(self) -> Tuple[float, float]:
+        """(mu, chi) for the in-flight epoch: observed data if any, else
+        the average over the history (the two cases of Eqs. 3-4)."""
+        if self._delay_weight > 0:
+            return (
+                self._delay_sum / self._delay_weight,
+                self._delay_sq_sum / self._delay_weight,
+            )
+        if self.epochs:
+            n = len(self.epochs)
+            return (
+                sum(e.mu for e in self.epochs) / n,
+                sum(e.chi for e in self.epochs) / n,
+            )
+        return 0.0, 0.0
+
+    def mu_history(self) -> List[float]:
+        return [e.mu for e in self.epochs]
+
+    def chi_history(self) -> List[float]:
+        return [e.chi for e in self.epochs]
+
+
+class SourceBinding:
+    """Wires a :class:`SourceSpec` into a query and tracks its generation
+    and progress state. Generation cursors are owned by the engine."""
+
+    def __init__(
+        self,
+        spec: SourceSpec,
+        operator: Operator,
+        input_index: int = 0,
+        source_id: int = 0,
+        history: int = 400,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.operator = operator
+        self.input_index = input_index
+        self.source_id = source_id
+        self.channel = operator.inputs[input_index]
+        self.progress: Optional[StreamProgress] = None  # set by Query
+        # generation cursors (engine-managed)
+        self.next_gen_time = 0.0
+        self.next_watermark_time = spec.watermark_period_ms
+        self.next_marker_time = spec.marker_period_ms
+        self._history = history
+        # burst-state machine (engine-managed)
+        self.rng = np.random.default_rng(seed)
+        self.bursting = False
+        self.burst_state_until = 0.0
+
+    def bind_progress(
+        self, assigner: Optional[WindowAssigner], start_time: float = 0.0
+    ) -> None:
+        self.progress = StreamProgress(
+            assigner,
+            self.spec.watermark_period_ms,
+            history=self._history,
+            start_time=start_time,
+        )
+
+
+class Query:
+    """A deployed streaming query: sources -> operator DAG -> sink."""
+
+    def __init__(
+        self,
+        query_id: str,
+        bindings: Sequence[SourceBinding],
+        operators: Sequence[Operator],
+        sink: SinkOperator,
+        epoch_history: int = 400,
+        deployed_at: float = 0.0,
+    ) -> None:
+        if not bindings:
+            raise ValueError("query needs at least one source")
+        if sink not in operators:
+            raise ValueError("sink must appear in the operator list")
+        if operators[-1] is not sink:
+            raise ValueError("operators must be topologically ordered, sink last")
+        if deployed_at < 0:
+            raise ValueError(f"negative deployment time: {deployed_at}")
+        self.query_id = query_id
+        self.bindings = list(bindings)
+        self.operators = list(operators)
+        self.sink = sink
+        self.deployed_at = float(deployed_at)
+        self._downstream: Dict[Operator, Optional[Operator]] = {}
+        self._wire_downstream_map()
+        for binding in self.bindings:
+            binding._history = epoch_history
+            binding.bind_progress(
+                self._assigner_for(binding.operator), start_time=self.deployed_at
+            )
+        self._validate()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _wire_downstream_map(self) -> None:
+        channel_owner = {}
+        for op in self.operators:
+            for ch in op.inputs:
+                channel_owner[id(ch)] = op
+        for op in self.operators:
+            if op.output is None:
+                self._downstream[op] = None
+            else:
+                owner = channel_owner.get(id(op.output))
+                if owner is None:
+                    raise ValueError(
+                        f"operator {op.name} outputs to a channel outside the query"
+                    )
+                self._downstream[op] = owner
+
+    def _validate(self) -> None:
+        for op in self.operators:
+            if op is self.sink:
+                if op.output is not None:
+                    raise ValueError("sink must not have an output")
+            elif self._downstream[op] is None:
+                raise ValueError(f"operator {op.name} is not wired to the sink")
+        # Topological order check: every operator must appear before its
+        # downstream operator.
+        position = {op: i for i, op in enumerate(self.operators)}
+        for op, down in self._downstream.items():
+            if down is not None and position[down] <= position[op]:
+                raise ValueError(
+                    f"operators out of topological order: {op.name} -> {down.name}"
+                )
+
+    def _assigner_for(self, entry: Operator) -> Optional[WindowAssigner]:
+        """First window assigner on the path from ``entry`` downstream."""
+        op: Optional[Operator] = entry
+        while op is not None:
+            if isinstance(op, _WindowedOperatorBase):
+                return op.assigner
+            op = self._downstream[op]
+        return None
+
+    # -- scheduler-facing aggregates -------------------------------------------
+
+    def downstream_of(self, op: Operator) -> Optional[Operator]:
+        return self._downstream[op]
+
+    @property
+    def queued_events(self) -> float:
+        return sum(op.queued_events for op in self.operators)
+
+    @property
+    def queued_bytes(self) -> float:
+        return sum(op.queued_bytes for op in self.operators)
+
+    @property
+    def state_bytes(self) -> float:
+        return sum(op.state_bytes for op in self.operators)
+
+    @property
+    def memory_bytes(self) -> float:
+        """Total memory footprint: queued records plus window state."""
+        return self.queued_bytes + self.state_bytes
+
+    def has_work(self) -> bool:
+        return any(op.has_work() for op in self.operators)
+
+    def windowed_operators(self) -> List[_WindowedOperatorBase]:
+        return [op for op in self.operators if isinstance(op, _WindowedOperatorBase)]
+
+    def join_operators(self) -> List[WindowedJoin]:
+        return [op for op in self.operators if isinstance(op, WindowedJoin)]
+
+    def unit_costs(self) -> Dict[Operator, float]:
+        """Cost to push one event end-to-end from each operator (ms).
+
+        ``unit_cost[op] = cost(op) + selectivity(op) * unit_cost(downstream)``
+        using measured selectivities where available (Sec. 3: cost is
+        estimated from per-operator processing time and selectivity [33]).
+        """
+        costs: Dict[Operator, float] = {}
+        for op in reversed(self.operators):
+            down = self._downstream[op]
+            sel = op.stats.measured_selectivity if op.stats.events_in > 0 else op.selectivity
+            tail = costs[down] if down is not None else 0.0
+            costs[op] = op.cost_per_event_ms + sel * tail
+        return costs
+
+    def pending_cost_ms(self) -> float:
+        """cost_q(t): CPU time to process every queued event end-to-end."""
+        unit = self.unit_costs()
+        return sum(op.queued_events * unit[op] for op in self.operators)
+
+    def pipeline_cost_per_event_ms(self) -> float:
+        """Ideal end-to-end processing cost of a single event (slowdown
+        denominator, Sec. 6.1.2)."""
+        return sum(op.cost_per_event_ms for op in self.operators)
+
+    def next_window_deadline(self) -> float:
+        """Earliest pending window deadline across the query's window ops."""
+        deadlines = [
+            op.next_deadline(op.event_clock) for op in self.windowed_operators()
+        ]
+        return min(deadlines) if deadlines else math.inf
+
+    def oldest_queued_arrival(self) -> Optional[float]:
+        """Engine time of the oldest queued record (FCFS ordering key)."""
+        arrivals = [
+            ch.head_arrival
+            for op in self.operators
+            for ch in op.inputs
+            if ch.head_arrival is not None
+        ]
+        return min(arrivals) if arrivals else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Query({self.query_id!r}, ops={len(self.operators)})"
+
+
+def chain(*operators: Operator) -> List[Operator]:
+    """Wire a linear pipeline: each operator's output feeds the next."""
+    for up, down in zip(operators, operators[1:]):
+        up.connect(down)
+    return list(operators)

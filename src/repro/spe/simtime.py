@@ -1,0 +1,62 @@
+"""Virtual time for the simulated stream processing engine.
+
+All simulator timestamps are expressed in *milliseconds* as floats. Both
+event-time (timestamps assigned at the source) and processing-time (the
+engine's clock) share this unit, mirroring Flink's millisecond epoch
+timestamps. Helpers are provided so workload definitions can be written in
+natural units.
+"""
+
+from __future__ import annotations
+
+MILLIS = 1.0
+SECONDS = 1000.0
+MINUTES = 60 * SECONDS
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to simulator milliseconds."""
+    return value * SECONDS
+
+
+def millis(value: float) -> float:
+    """Identity helper for symmetry with :func:`seconds`."""
+    return value * MILLIS
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock.
+
+    The engine owns one clock and advances it in scheduling-cycle steps.
+    Components hold a reference and read ``clock.now`` instead of wall time,
+    which keeps every experiment deterministic and independent of host speed.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` (must be non-negative)."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock backwards: {delta_ms}")
+        self._now += delta_ms
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to an absolute ``timestamp`` (never backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.3f}ms)"

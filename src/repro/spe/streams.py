@@ -1,0 +1,143 @@
+"""Inter-operator channels.
+
+A :class:`Channel` is the FIFO queue connecting two operators (or a source
+to its first operator). It tracks the aggregate statistics the schedulers
+consume: number of queued events, queued bytes, and the engine-clock time
+at which the head record arrived (FCFS orders queries by this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Optional
+
+from repro.spe.events import EventBatch, LatencyMarker, Watermark
+
+
+@dataclass
+class _Entry:
+    record: object
+    enqueued_at: float
+
+
+class Channel:
+    """Bounded-accounting FIFO queue between operators.
+
+    A channel whose endpoints live on different nodes carries a transfer
+    ``latency_ms``: pushed records stay in a pending buffer until the
+    engine calls :meth:`release` once the latency has elapsed (the RPC /
+    network hop of a distributed deployment, Sec. 4).
+    """
+
+    def __init__(self, name: str = "", latency_ms: float = 0.0) -> None:
+        if latency_ms < 0:
+            raise ValueError(f"negative channel latency: {latency_ms}")
+        self.name = name
+        self.latency_ms = latency_ms
+        self._entries: Deque[_Entry] = deque()
+        self._pending: Deque[_Entry] = deque()  # in-flight cross-node records
+        self._queued_events: float = 0.0
+        self._queued_bytes: float = 0.0
+
+    # -- producer side -----------------------------------------------------
+
+    def push(self, record: object, now: float) -> None:
+        """Enqueue ``record`` at engine time ``now``."""
+        if self.latency_ms > 0.0:
+            self._pending.append(_Entry(record, now + self.latency_ms))
+            return
+        self._entries.append(_Entry(record, now))
+        if isinstance(record, EventBatch):
+            self._queued_events += record.count
+            self._queued_bytes += record.bytes
+
+    def release(self, now: float) -> int:
+        """Deliver in-flight records whose transfer completed; returns count."""
+        released = 0
+        while self._pending and self._pending[0].enqueued_at <= now:
+            entry = self._pending.popleft()
+            self._entries.append(entry)
+            if isinstance(entry.record, EventBatch):
+                self._queued_events += entry.record.count
+                self._queued_bytes += entry.record.bytes
+            released += 1
+        return released
+
+    def push_front(self, record: object, enqueued_at: float) -> None:
+        """Return a partially processed record to the head of the queue."""
+        self._entries.appendleft(_Entry(record, enqueued_at))
+        if isinstance(record, EventBatch):
+            self._queued_events += record.count
+            self._queued_bytes += record.bytes
+
+    # -- consumer side -----------------------------------------------------
+
+    def pop(self) -> Optional[_Entry]:
+        """Dequeue the head entry, or ``None`` when empty."""
+        if not self._entries:
+            return None
+        entry = self._entries.popleft()
+        record = entry.record
+        if isinstance(record, EventBatch):
+            self._queued_events -= record.count
+            self._queued_bytes -= record.bytes
+            # Guard against float drift accumulating into negatives.
+            if self._queued_events < 1e-9:
+                self._queued_events = 0.0
+            if self._queued_bytes < 1e-6:
+                self._queued_bytes = 0.0
+        return entry
+
+    def peek(self) -> Optional[_Entry]:
+        """Return (without removing) the head entry, or ``None``."""
+        return self._entries[0] if self._entries else None
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[_Entry]:
+        return iter(self._entries)
+
+    @property
+    def queued_events(self) -> float:
+        """Number of payload events currently queued."""
+        return self._queued_events
+
+    @property
+    def queued_bytes(self) -> float:
+        """Memory footprint of queued payload events."""
+        return self._queued_bytes
+
+    @property
+    def head_arrival(self) -> Optional[float]:
+        """Engine time at which the oldest queued record arrived."""
+        return self._entries[0].enqueued_at if self._entries else None
+
+    def oldest_event_arrival(self) -> Optional[float]:
+        """Arrival time of the oldest queued *payload* record, if any."""
+        for entry in self._entries:
+            if isinstance(entry.record, (EventBatch, LatencyMarker)):
+                return entry.enqueued_at
+        return None
+
+    def has_watermark(self) -> bool:
+        """True when at least one watermark is queued."""
+        return any(isinstance(e.record, Watermark) for e in self._entries)
+
+    def clear(self) -> None:
+        """Drop all queued records (used by tests and teardown)."""
+        self._entries.clear()
+        self._queued_events = 0.0
+        self._queued_bytes = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Channel({self.name!r}, records={len(self._entries)}, "
+            f"events={self._queued_events:.0f})"
+        )

@@ -1,0 +1,135 @@
+"""Per-cycle engine tracing.
+
+A :class:`CycleTracer` attached to an :class:`~repro.spe.engine.Engine`
+records one row per scheduling cycle: clock, memory, CPU, backpressure
+state, and the head of the scheduler's priority order. Traces explain
+*why* a run behaved the way it did — which queries the policy favoured,
+when memory-management episodes started, when backpressure began
+shedding — and export to CSV for offline analysis.
+
+Usage::
+
+    tracer = CycleTracer(max_rows=10_000)
+    engine = Engine(queries, scheduler, tracer=tracer)
+    engine.run(60_000.0)
+    tracer.to_csv("trace.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+
+@dataclass
+class CycleRecord:
+    """One scheduling cycle's observable state."""
+
+    time: float
+    memory_utilization: float
+    cpu_used_ms: float
+    overhead_ms: float
+    backpressured: bool
+    plan_mode: str
+    throttled: bool
+    head_queries: List[str] = field(default_factory=list)
+
+
+class CycleTracer:
+    """Bounded in-memory trace of engine cycles."""
+
+    FIELDS = [
+        "time",
+        "memory_utilization",
+        "cpu_used_ms",
+        "overhead_ms",
+        "backpressured",
+        "plan_mode",
+        "throttled",
+        "head_queries",
+    ]
+
+    def __init__(self, max_rows: int = 100_000, head: int = 4) -> None:
+        if max_rows < 1:
+            raise ValueError(f"need at least one row: {max_rows}")
+        if head < 0:
+            raise ValueError(f"negative head count: {head}")
+        self.head = head
+        self._rows: Deque[CycleRecord] = deque(maxlen=max_rows)
+
+    # -- engine-facing hook --------------------------------------------------
+
+    def on_cycle(
+        self,
+        *,
+        time: float,
+        memory_utilization: float,
+        cpu_used_ms: float,
+        overhead_ms: float,
+        backpressured: bool,
+        plan,
+    ) -> None:
+        self._rows.append(
+            CycleRecord(
+                time=time,
+                memory_utilization=memory_utilization,
+                cpu_used_ms=cpu_used_ms,
+                overhead_ms=overhead_ms,
+                backpressured=backpressured,
+                plan_mode=plan.mode,
+                throttled=plan.throttle_ingestion,
+                head_queries=[
+                    alloc.query.query_id
+                    for alloc in plan.allocations[: self.head]
+                ],
+            )
+        )
+
+    # -- consumption ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> Sequence[CycleRecord]:
+        return tuple(self._rows)
+
+    def last(self) -> Optional[CycleRecord]:
+        return self._rows[-1] if self._rows else None
+
+    def throttled_spans(self) -> List[tuple]:
+        """(start, end) time spans during which ingestion was throttled."""
+        spans = []
+        start = None
+        prev_time = None
+        for row in self._rows:
+            throttling = row.throttled or row.backpressured
+            if throttling and start is None:
+                start = row.time
+            elif not throttling and start is not None:
+                spans.append((start, prev_time))
+                start = None
+            prev_time = row.time
+        if start is not None:
+            spans.append((start, prev_time))
+        return spans
+
+    def to_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.FIELDS)
+            for row in self._rows:
+                writer.writerow(
+                    [
+                        f"{row.time:.3f}",
+                        f"{row.memory_utilization:.6f}",
+                        f"{row.cpu_used_ms:.3f}",
+                        f"{row.overhead_ms:.4f}",
+                        int(row.backpressured),
+                        row.plan_mode,
+                        int(row.throttled),
+                        "|".join(row.head_queries),
+                    ]
+                )

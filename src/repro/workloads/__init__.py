@@ -1,0 +1,21 @@
+"""Benchmark workload generators (YSB, LRB, NYT)."""
+
+from repro.workloads import lrb, nyt, ysb  # noqa: F401  (register builders)
+from repro.workloads.base import (
+    WorkloadParams,
+    build_queries,
+    make_delay_model,
+    register_workload,
+    workload_names,
+)
+
+__all__ = [
+    "WorkloadParams",
+    "build_queries",
+    "make_delay_model",
+    "register_workload",
+    "workload_names",
+    "ysb",
+    "lrb",
+    "nyt",
+]

@@ -1,0 +1,127 @@
+"""Linear Road Benchmark (LRB) pipeline.
+
+LRB [Arasu et al., VLDB 2004] simulates a highway toll system. The paper
+uses the streaming variation with "a complex pipeline that includes a mix
+of tumbling windows, sliding windows, and join operators": a join (group
+by) over 3 sub-streams of 6.5K events produced every two seconds per
+sliding window per query, a sliding window of size 5 s with slide 3 s, and
+— to stress the pipeline — the deadline of the last window operator set to
+1/3 of the earlier window deadlines (Sec. 6.2.1).
+
+Pipeline::
+
+    3 x [source (3.25K ev/s) -> map (parse position report)]
+        -> windowed join, sliding 5 s / 3 s  (segment group-by)
+        -> map (toll / accident logic)
+        -> tumbling window 1 s               (1/3 of the 3 s slide)
+        -> sink
+
+Each sub-stream carries 6.5K events per 2 s = 3.25K events/s. The final
+1-second tumbling window implements the accident-detection/toll output,
+firing three times per upstream join slide — the intensified pressure at
+SWM ingestion that the paper engineers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.spe.operators import (
+    MapOperator,
+    SinkOperator,
+    WindowedAggregate,
+    WindowedJoin,
+)
+from repro.spe.query import Query, SourceBinding, SourceSpec
+from repro.spe.windows import SlidingEventTimeWindows, TumblingEventTimeWindows
+from repro.workloads.base import WorkloadParams, make_delay_model, register_workload
+
+#: sub-streams feeding the join (position reports from three expressways)
+N_SUBSTREAMS = 3
+#: per-sub-stream rate: 6.5K events per 2 s sliding-window period
+RATE_EPS = 6_500.0 / 2.0
+#: upstream sliding window: size 5 s, slide 3 s
+JOIN_WINDOW_MS = 5_000.0
+JOIN_SLIDE_MS = 3_000.0
+#: final window deadline = 1/3 of the earlier window deadline spacing
+TOLL_WINDOW_MS = JOIN_SLIDE_MS / 3.0
+#: watermark injection period
+WATERMARK_PERIOD_MS = 1_000.0
+#: position report size (bytes)
+EVENT_BYTES = 120
+#: join output events per buffered input event (segment group-by density)
+JOIN_SELECTIVITY = 0.05
+#: toll notifications per final pane (output cardinality: active segments)
+N_SEGMENTS = 80
+
+
+def build_query(
+    query_id: str,
+    params: Optional[WorkloadParams] = None,
+    deployed_at: float = 0.0,
+    seed: int = 0,
+) -> Query:
+    """Construct one LRB query instance (accident detection + tolls)."""
+    params = params or WorkloadParams()
+    join = WindowedJoin(
+        f"{query_id}.join",
+        SlidingEventTimeWindows(JOIN_WINDOW_MS, JOIN_SLIDE_MS, offset=deployed_at),
+        cost_per_event_ms=0.021,
+        n_inputs=N_SUBSTREAMS,
+        join_selectivity=JOIN_SELECTIVITY,
+        state_bytes_per_event=96,
+        out_bytes_per_event=96,
+    )
+    toll_logic = MapOperator(
+        f"{query_id}.toll-logic", cost_per_event_ms=0.015, out_bytes_per_event=64
+    )
+    toll_window = WindowedAggregate(
+        f"{query_id}.toll-window",
+        TumblingEventTimeWindows(TOLL_WINDOW_MS, offset=deployed_at),
+        cost_per_event_ms=0.015,
+        output_events_per_pane=N_SEGMENTS,
+        state_bytes_per_event=64,
+        out_bytes_per_event=48,
+        incremental=True,
+    )
+    sink = SinkOperator(f"{query_id}.sink", cost_per_event_ms=0.002)
+
+    bindings = []
+    parsers = []
+    for s in range(N_SUBSTREAMS):
+        delay_model = make_delay_model(
+            params.delay, seed * N_SUBSTREAMS + s, params.delay_max_ms
+        )
+        spec = SourceSpec(
+            name=f"{query_id}.xway{s}",
+            rate_eps=RATE_EPS * params.rate_scale,
+            watermark_period_ms=WATERMARK_PERIOD_MS,
+            lateness_ms=delay_model.bound,
+            delay_model=delay_model,
+            bytes_per_event=EVENT_BYTES,
+            burst_factor=params.burst_factor,
+            burst_duty=params.burst_duty,
+        )
+        parser = MapOperator(
+            f"{query_id}.parse{s}", cost_per_event_ms=0.015,
+            out_bytes_per_event=EVENT_BYTES,
+        )
+        parser.connect(join, input_index=s)
+        parsers.append(parser)
+        bindings.append(SourceBinding(spec, parser, source_id=s, seed=seed * 7 + s + 17))
+
+    join.connect(toll_logic)
+    toll_logic.connect(toll_window)
+    toll_window.connect(sink)
+    operators = parsers + [join, toll_logic, toll_window, sink]
+    return Query(
+        query_id,
+        bindings,
+        operators,
+        sink,
+        epoch_history=params.epoch_history,
+        deployed_at=deployed_at,
+    )
+
+
+register_workload("lrb", build_query)

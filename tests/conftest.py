@@ -1,0 +1,17 @@
+"""Shared fixtures: small deterministic pipelines for unit/integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_join_query, make_simple_query
+
+
+@pytest.fixture
+def simple_query():
+    return make_simple_query()
+
+
+@pytest.fixture
+def join_query():
+    return make_join_query()

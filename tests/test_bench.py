@@ -1,0 +1,121 @@
+"""Unit tests for the experiment harness (repro.bench)."""
+
+import math
+
+import pytest
+
+from repro.bench.estimation import estimator_accuracy
+from repro.bench.runner import (
+    ExperimentConfig,
+    SCHEDULER_NAMES,
+    WORKLOAD_MEMORY_GB,
+    make_scheduler,
+    run_cached,
+    run_experiment,
+)
+from repro.core.estimator import SwmIngestionEstimator
+from repro.core.klink import KlinkScheduler
+from repro.net.delays import ConstantDelay, UniformDelay
+
+
+class TestSchedulerFactory:
+    def test_all_seven_policies(self):
+        assert len(SCHEDULER_NAMES) == 7
+        for name in SCHEDULER_NAMES:
+            assert make_scheduler(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("EDF")
+
+    def test_klink_overrides(self):
+        sched = make_scheduler("Klink", confidence=90.0)
+        assert isinstance(sched, KlinkScheduler)
+        assert sched.confidence == 90.0
+
+    def test_without_mm_override(self):
+        sched = make_scheduler("Klink (w/o MM)", confidence=90.0)
+        assert not sched.enable_memory_management
+
+    def test_baselines_reject_overrides(self):
+        with pytest.raises(ValueError):
+            make_scheduler("Default", confidence=90.0)
+
+
+class TestExperimentConfig:
+    def test_memory_defaults_per_workload(self):
+        for workload, gb in WORKLOAD_MEMORY_GB.items():
+            cfg = ExperimentConfig(workload=workload)
+            assert cfg.resolved_memory_gb() == gb
+
+    def test_memory_override(self):
+        cfg = ExperimentConfig(memory_gb=3.5)
+        assert cfg.resolved_memory_gb() == 3.5
+
+    def test_config_is_hashable_cache_key(self):
+        a = ExperimentConfig()
+        b = ExperimentConfig()
+        assert a == b and hash(a) == hash(b)
+
+
+class TestRunExperiment:
+    def test_small_run_produces_metrics(self):
+        # Duration must exceed the 20 s deployment staggering window, or
+        # the sampled queries may not have started yet.
+        cfg = ExperimentConfig(
+            workload="ysb", scheduler="Default", n_queries=2,
+            duration_ms=30_000.0, cores=4,
+        )
+        res = run_experiment(cfg)
+        assert res.metrics.total_events_processed > 0
+        assert "mean_latency_ms" in res.summary
+        assert "Default" in res.row()
+
+    def test_confidence_reaches_klink(self):
+        cfg = ExperimentConfig(
+            workload="ysb", scheduler="Klink", n_queries=2,
+            duration_ms=5_000.0, cores=4, confidence=67.0,
+        )
+        res = run_experiment(cfg)  # must not raise
+        assert res.metrics.cycles > 0
+
+    def test_run_cached_reuses_result(self):
+        cfg = ExperimentConfig(
+            workload="ysb", scheduler="Default", n_queries=1,
+            duration_ms=5_000.0, cores=4, seed=99,
+        )
+        assert run_cached(cfg) is run_cached(cfg)
+
+
+class TestEstimatorAccuracyHarness:
+    def test_constant_delay_is_fully_predictable(self):
+        r = estimator_accuracy(
+            SwmIngestionEstimator(confidence=95.0),
+            ConstantDelay(100.0),
+            n_epochs=100,
+        )
+        assert r.accuracy == 1.0
+        assert r.n_epochs == 80  # warmup removed
+
+    def test_uniform_coverage_near_confidence(self):
+        r = estimator_accuracy(
+            SwmIngestionEstimator(confidence=95.0),
+            UniformDelay(0.0, 400.0, seed=5),
+            n_epochs=300,
+        )
+        assert r.accuracy > 0.9
+
+    def test_interval_width_reported(self):
+        r = estimator_accuracy(
+            SwmIngestionEstimator(confidence=95.0),
+            UniformDelay(0.0, 400.0, seed=5),
+            n_epochs=100,
+        )
+        assert r.mean_interval_ms > 0
+
+    def test_rejects_bad_epoch_counts(self):
+        with pytest.raises(ValueError):
+            estimator_accuracy(
+                SwmIngestionEstimator(), ConstantDelay(0.0),
+                n_epochs=10, warmup_epochs=10,
+            )

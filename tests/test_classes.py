@@ -1,0 +1,108 @@
+"""Unit tests for class-based (SLA) scheduling composition."""
+
+import pytest
+
+from repro.core.baselines import DefaultScheduler, StreamBoxScheduler
+from repro.core.classes import ClassBasedScheduler
+from repro.core.klink import KlinkScheduler
+from repro.core.scheduler import SchedulerContext
+from tests.helpers import make_simple_query
+
+
+def ctx_for(queries, now=0.0):
+    return SchedulerContext(now=now, cycle_ms=120.0, cores=4, queries=queries)
+
+
+class TestComposition:
+    def test_higher_class_runs_first(self):
+        gold = make_simple_query("gold", window_ms=5000.0)
+        bronze = make_simple_query("bronze", window_ms=500.0)
+        sched = ClassBasedScheduler(
+            StreamBoxScheduler(), {"gold": 0, "bronze": 2}
+        )
+        plan = sched.plan(ctx_for([bronze, gold]))
+        # Even though bronze's deadline is earlier (SBox would pick it),
+        # the class ordering dominates.
+        assert plan.allocations[0].query is gold
+
+    def test_inner_order_preserved_within_class(self):
+        early = make_simple_query("early", window_ms=500.0)
+        late = make_simple_query("late", window_ms=5000.0)
+        sched = ClassBasedScheduler(StreamBoxScheduler())
+        plan = sched.plan(ctx_for([late, early]))
+        assert plan.allocations[0].query is early  # SBox's order
+
+    def test_default_class_applies_to_unassigned(self):
+        q0 = make_simple_query("q0")
+        q1 = make_simple_query("vip")
+        sched = ClassBasedScheduler(
+            StreamBoxScheduler(), {"vip": 0}, default_class=1
+        )
+        plan = sched.plan(ctx_for([q0, q1]))
+        assert plan.allocations[0].query is q1
+
+    def test_share_mode_passthrough(self):
+        q = make_simple_query()
+        sched = ClassBasedScheduler(DefaultScheduler())
+        plan = sched.plan(ctx_for([q]))
+        assert plan.mode == "share"
+
+    def test_composes_with_klink(self):
+        queries = [make_simple_query(f"q{i}") for i in range(3)]
+        sched = ClassBasedScheduler(KlinkScheduler(), {"q2": 0}, default_class=1)
+        plan = sched.plan(ctx_for(queries))
+        assert plan.allocations[0].query.query_id == "q2"
+
+    def test_assign_updates_class(self):
+        sched = ClassBasedScheduler(StreamBoxScheduler())
+        sched.assign("q0", 3)
+        assert sched.class_of("q0") == 3
+        assert sched.class_of("other") == 0
+
+    def test_rejects_negative_class(self):
+        sched = ClassBasedScheduler(StreamBoxScheduler())
+        with pytest.raises(ValueError):
+            sched.assign("q", -1)
+        with pytest.raises(ValueError):
+            ClassBasedScheduler(StreamBoxScheduler(), default_class=-1)
+
+    def test_overhead_and_reset_delegate(self):
+        inner = KlinkScheduler()
+        sched = ClassBasedScheduler(inner)
+        queries = [make_simple_query("q")]
+        sched.plan(ctx_for(queries))
+        assert sched.overhead_ms(ctx_for(queries)) == inner.overhead_ms(
+            ctx_for(queries)
+        )
+        sched.reset()
+        assert inner.last_slacks == {}
+
+    def test_name_reflects_inner(self):
+        assert ClassBasedScheduler(KlinkScheduler()).name == "Class(Klink)"
+
+
+class TestEndToEnd:
+    def test_gold_class_gets_lower_latency_under_contention(self):
+        from repro.core.scheduler import Scheduler
+        from repro.spe.engine import Engine
+
+        queries = [
+            make_simple_query(f"q{i}", rate_eps=20_000.0, cost_ms=0.05,
+                              window_ms=1000.0)
+            for i in range(6)
+        ]
+        classes = {"q0": 0}  # q0 is gold; demand ~6 cores on 2 cores
+        sched = ClassBasedScheduler(KlinkScheduler(), classes, default_class=1)
+        engine = Engine(queries, sched, cores=2, cycle_ms=100.0)
+        metrics = engine.run(30_000.0)
+        gold = metrics.per_query_swm_latencies.get("q0", [])
+        others = [
+            lat
+            for qid, lats in metrics.per_query_swm_latencies.items()
+            if qid != "q0"
+            for lat in lats
+        ]
+        assert gold and others
+        gold_mean = sum(gold) / len(gold)
+        others_mean = sum(others) / len(others)
+        assert gold_mean < others_mean * 0.8

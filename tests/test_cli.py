@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ysb" in out and "Klink" in out
+
+    def test_run_requires_known_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "EDF"])
+
+    def test_run_requires_known_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "tpch"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "ysb"
+        assert args.scheduler == "Klink"
+        assert args.queries == 60
+
+
+class TestRunCommand:
+    def test_small_run_prints_table(self, capsys):
+        rc = main([
+            "run", "--workload", "ysb", "--scheduler", "Default",
+            "--queries", "2", "--duration", "25", "--cores", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Default" in out
+        assert "ysb" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = str(tmp_path / "out.csv")
+        main([
+            "run", "--workload", "ysb", "--scheduler", "Default",
+            "--queries", "2", "--duration", "25", "--cores", "4",
+            "--csv", path,
+        ])
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        assert rows[0]["scheduler"] == "Default"
+        assert float(rows[0]["throughput_eps"]) > 0
+
+
+class TestSweepCommand:
+    def test_sweep_runs_grid(self, capsys):
+        rc = main([
+            "sweep", "--workload", "ysb", "--queries", "1", "2",
+            "--schedulers", "Default", "Klink",
+            "--duration", "25", "--cores", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("Default") == 2
+        assert out.count("Klink") == 2
+
+
+class TestEstimateCommand:
+    def test_klink_estimator(self, capsys):
+        rc = main([
+            "estimate", "--delay", "uniform", "--epochs", "60",
+            "--repetitions", "1",
+        ])
+        assert rc == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_lr_estimator(self, capsys):
+        rc = main([
+            "estimate", "--estimator", "lr", "--delay", "zipf",
+            "--epochs", "60", "--repetitions", "1",
+        ])
+        assert rc == 0
+        assert "LR" in capsys.readouterr().out

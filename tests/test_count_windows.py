@@ -1,0 +1,84 @@
+"""Unit tests for count-based windowed aggregation (Sec. 2.1)."""
+
+import pytest
+
+from repro.spe.events import EventBatch, Watermark
+from repro.spe.operators import CountWindowedAggregate, SinkOperator
+
+
+def make(size=100, outputs=5.0, incremental=True):
+    op = CountWindowedAggregate(
+        "cw", size=size, cost_per_event_ms=0.01,
+        output_events_per_window=outputs, incremental=incremental,
+    )
+    sink = SinkOperator("s")
+    op.connect(sink)
+    return op, sink
+
+
+def feed(op, count, t0=0.0, t1=100.0):
+    op.inputs[0].push(EventBatch(count=count, t_start=t0, t_end=t1), 0.0)
+    op.step(1e9, 0.0)
+
+
+class TestFiring:
+    def test_no_output_below_size(self):
+        op, sink = make(size=100)
+        feed(op, 99)
+        assert op.windows_fired == 0
+        assert sink.inputs[0].queued_events == 0
+
+    def test_fires_at_size(self):
+        op, sink = make(size=100, outputs=5.0)
+        feed(op, 100)
+        assert op.windows_fired == 1
+        assert sink.inputs[0].queued_events == pytest.approx(5.0)
+
+    def test_large_batch_fires_multiple_windows(self):
+        op, sink = make(size=100, outputs=1.0)
+        feed(op, 350)
+        assert op.windows_fired == 3
+        assert op.state_events == pytest.approx(50.0)
+
+    def test_carryover_accumulates_across_batches(self):
+        op, _ = make(size=100)
+        feed(op, 60)
+        feed(op, 60)
+        assert op.windows_fired == 1
+        assert op.state_events == pytest.approx(20.0)
+
+    def test_fractional_mass_preserved(self):
+        op, _ = make(size=10)
+        feed(op, 10.5)
+        assert op.windows_fired == 1
+        assert op.state_events == pytest.approx(0.5)
+
+
+class TestWatermarkAgnosticism:
+    def test_watermark_forwarded_without_firing(self):
+        op, sink = make(size=100)
+        feed(op, 50)
+        op.inputs[0].push(Watermark(1e9), 0.0)
+        op.step(1e9, 0.0)
+        assert op.windows_fired == 0
+        records = [e.record for e in list(sink.inputs[0])]
+        assert any(isinstance(r, Watermark) for r in records)
+
+    def test_no_time_deadline(self):
+        op, _ = make()
+        import math
+
+        assert op.next_deadline(0.0) == math.inf
+
+
+class TestState:
+    def test_incremental_state_is_compact(self):
+        inc, _ = make(size=1000, incremental=True)
+        raw, _ = make(size=1000, incremental=False)
+        feed(inc, 500)
+        feed(raw, 500)
+        assert inc.state_bytes < raw.state_bytes
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            CountWindowedAggregate("bad", size=0, cost_per_event_ms=0.01)

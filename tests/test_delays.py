@@ -1,0 +1,124 @@
+"""Unit tests for the network delay models."""
+
+import numpy as np
+import pytest
+
+from repro.net.delays import (
+    ConstantDelay,
+    ExponentialDelay,
+    UniformDelay,
+    ZipfDelay,
+)
+
+
+class TestConstantDelay:
+    def test_sample_is_constant(self):
+        model = ConstantDelay(25.0)
+        assert all(model.sample() == 25.0 for _ in range(10))
+
+    def test_bound_and_mean(self):
+        model = ConstantDelay(25.0)
+        assert model.bound == 25.0
+        assert model.mean == 25.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+
+class TestUniformDelay:
+    def test_samples_within_range(self):
+        model = UniformDelay(10.0, 20.0, seed=0)
+        samples = [model.sample() for _ in range(500)]
+        assert all(10.0 <= s <= 20.0 for s in samples)
+
+    def test_mean_matches_analytic(self):
+        model = UniformDelay(0.0, 100.0, seed=1)
+        samples = [model.sample() for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(model.mean, rel=0.05)
+
+    def test_bound_is_high_end(self):
+        assert UniformDelay(0.0, 500.0).bound == 500.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            UniformDelay(10.0, 5.0)
+
+    def test_seeded_streams_are_reproducible(self):
+        a = UniformDelay(0, 100, seed=7)
+        b = UniformDelay(0, 100, seed=7)
+        assert [a.sample() for _ in range(5)] == [b.sample() for _ in range(5)]
+
+    def test_reseed_restarts_stream(self):
+        model = UniformDelay(0, 100, seed=7)
+        first = [model.sample() for _ in range(5)]
+        model.reseed(7)
+        assert [model.sample() for _ in range(5)] == first
+
+
+class TestZipfDelay:
+    def test_samples_within_bound(self):
+        model = ZipfDelay(a=0.99, max_ms=500.0, seed=0)
+        samples = [model.sample() for _ in range(500)]
+        assert all(0.0 <= s <= 500.0 for s in samples)
+
+    def test_small_delays_dominate(self):
+        # Rank 1 (smallest delay) is the most probable outcome.
+        model = ZipfDelay(a=0.99, max_ms=500.0, seed=0)
+        samples = np.array([model.sample() for _ in range(2000)])
+        assert np.median(samples) < model.mean
+
+    def test_mean_matches_empirical(self):
+        model = ZipfDelay(a=0.99, max_ms=500.0, seed=2)
+        samples = [model.sample() for _ in range(10000)]
+        assert np.mean(samples) == pytest.approx(model.mean, rel=0.1)
+
+    def test_heavier_shape_compresses_bulk(self):
+        flat = ZipfDelay(a=0.99, shape=1.0, seed=0)
+        heavy = ZipfDelay(a=0.99, shape=3.0, seed=0)
+        assert heavy.mean < flat.mean  # same ranks mapped to smaller bulk
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDelay(a=0.0)
+        with pytest.raises(ValueError):
+            ZipfDelay(n_ranks=1)
+        with pytest.raises(ValueError):
+            ZipfDelay(shape=0.0)
+
+
+class TestExponentialDelay:
+    def test_samples_capped(self):
+        model = ExponentialDelay(mean_ms=50.0, cap_ms=100.0, seed=0)
+        assert all(model.sample() <= 100.0 for _ in range(500))
+
+    def test_truncated_mean_analytic(self):
+        model = ExponentialDelay(mean_ms=50.0, cap_ms=100.0, seed=3)
+        samples = [model.sample() for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(model.mean, rel=0.05)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialDelay(0.0)
+
+
+class TestRngHandling:
+    def test_rng_and_seed_are_mutually_exclusive(self):
+        from repro.net.delays import DelayModel
+
+        class Probe(DelayModel):
+            def sample(self):
+                return 0.0
+
+            @property
+            def bound(self):
+                return 0.0
+
+            @property
+            def mean(self):
+                return 0.0
+
+        Probe(seed=1)  # either alone is fine
+        Probe(rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            Probe(rng=np.random.default_rng(1), seed=1)

@@ -1,0 +1,211 @@
+"""Unit tests for the distributed design (Sec. 4): placement, information
+forwarding, and the multi-node engine."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import DefaultScheduler
+from repro.spe.engine import Engine
+from repro.distributed import (
+    DistributedEngine,
+    ForwardingBoard,
+    PhysicalPlan,
+    QueryInfo,
+)
+from repro.distributed.cluster import DistributedKlinkScheduler
+from tests.helpers import make_join_query, make_simple_query
+
+
+class TestPhysicalPlan:
+    def test_locality_places_whole_pipelines(self):
+        queries = [make_simple_query(f"q{i}") for i in range(4)]
+        plan = PhysicalPlan.locality(queries, 2)
+        for i, q in enumerate(queries):
+            nodes = {plan.node_of_operator(op) for op in q.operators}
+            assert nodes == {i % 2}
+            assert not plan.is_split(q)
+
+    def test_locality_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            PhysicalPlan.locality([make_simple_query()], 0)
+
+    def test_split_produces_contiguous_forward_segments(self):
+        queries = [make_simple_query(f"q{i}") for i in range(3)]
+        plan = PhysicalPlan.split(queries, 4, segments=2)
+        for q in queries:
+            assert plan.is_split(q)
+            # Cross-node edges point from an upstream op to its downstream.
+            for op in plan.cross_node_edges(q):
+                down = q.downstream_of(op)
+                assert down is not None
+                assert plan.node_of_operator(op) != plan.node_of_operator(down)
+
+    def test_split_single_node_degenerates_to_locality(self):
+        queries = [make_simple_query("q0")]
+        plan = PhysicalPlan.split(queries, 1, segments=2)
+        assert not plan.is_split(queries[0])
+
+    def test_source_node(self):
+        queries = [make_simple_query(f"q{i}") for i in range(2)]
+        plan = PhysicalPlan.locality(queries, 2)
+        assert plan.source_node(queries[0]) == 0
+        assert plan.source_node(queries[1]) == 1
+
+    def test_local_operators_partition_the_pipeline(self):
+        queries = [make_simple_query("q0")]
+        plan = PhysicalPlan.split(queries, 2, segments=2)
+        q = queries[0]
+        locals0 = plan.local_operators(q, 0)
+        locals1 = plan.local_operators(q, 1)
+        assert set(locals0) | set(locals1) == set(q.operators)
+        assert not set(locals0) & set(locals1)
+
+
+class TestForwardingBoard:
+    def test_local_reads_are_fresh(self):
+        board = ForwardingBoard(rpc_latency_ms=100.0)
+        board.publish(0, "q", QueryInfo(published_at=1000.0, mu=42.0))
+        info = board.read(0, 0, "q", now=1000.0)
+        assert info.mu == 42.0
+
+    def test_remote_reads_lag_by_rpc_latency(self):
+        board = ForwardingBoard(rpc_latency_ms=100.0)
+        board.publish(0, "q", QueryInfo(published_at=900.0, mu=1.0))
+        board.publish(0, "q", QueryInfo(published_at=1000.0, mu=2.0))
+        info = board.read(1, 0, "q", now=1050.0)
+        assert info.mu == 1.0  # the 1000.0 snapshot is still in flight
+
+    def test_remote_read_none_when_nothing_delivered_yet(self):
+        board = ForwardingBoard(rpc_latency_ms=100.0)
+        board.publish(0, "q", QueryInfo(published_at=1000.0))
+        assert board.read(1, 0, "q", now=1000.0) is None
+
+    def test_unknown_key_is_none(self):
+        assert ForwardingBoard().read(0, 1, "nope", now=0.0) is None
+
+    def test_history_keeps_two_snapshots(self):
+        board = ForwardingBoard(rpc_latency_ms=10.0)
+        for t in (0.0, 100.0, 200.0):
+            board.publish(0, "q", QueryInfo(published_at=t, mu=t))
+        assert board.read(1, 0, "q", now=250.0).mu == 200.0
+        assert board.read(1, 0, "q", now=205.0).mu == 100.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            ForwardingBoard(rpc_latency_ms=-1.0)
+
+
+class TestDistributedEngine:
+    def test_locality_runs_and_measures(self):
+        queries = [make_simple_query(f"q{i}", rate_eps=500.0) for i in range(4)]
+        plan = PhysicalPlan.locality(queries, 2)
+        engine = DistributedEngine.with_policy(queries, plan, DefaultScheduler)
+        metrics = engine.run(10_000.0)
+        assert len(metrics.swm_latencies) > 0
+
+    def test_split_pipelines_deliver_across_nodes(self):
+        queries = [make_simple_query(f"q{i}", rate_eps=500.0) for i in range(2)]
+        plan = PhysicalPlan.split(queries, 2, segments=2)
+        engine = DistributedEngine.with_klink(queries, plan, rpc_latency_ms=50.0)
+        metrics = engine.run(10_000.0)
+        assert len(metrics.swm_latencies) > 0
+        # Sinks actually received events across the node boundary.
+        assert any(q.sink.events_delivered > 0 for q in queries)
+
+    def test_rpc_latency_adds_to_output_latency(self):
+        def run(rpc):
+            queries = [make_simple_query("q0", rate_eps=500.0, delay_ms=10.0)]
+            plan = PhysicalPlan.split(queries, 2, segments=2)
+            engine = DistributedEngine.with_klink(
+                queries, plan, rpc_latency_ms=rpc
+            )
+            return engine.run(10_000.0).mean_latency_ms
+
+        assert run(400.0) > run(1.0) + 200.0
+
+    def test_per_node_schedulers_instantiated(self):
+        queries = [make_simple_query(f"q{i}") for i in range(2)]
+        plan = PhysicalPlan.locality(queries, 2)
+        engine = DistributedEngine.with_klink(queries, plan)
+        assert len(engine.node_schedulers) == 2
+        assert all(
+            isinstance(s, DistributedKlinkScheduler)
+            for s in engine.node_schedulers
+        )
+
+    def test_distributed_klink_uses_forwarded_info_for_remote_sources(self):
+        queries = [make_simple_query(f"q{i}", rate_eps=500.0) for i in range(2)]
+        plan = PhysicalPlan.locality(queries, 2)
+        engine = DistributedEngine.with_klink(queries, plan)
+        engine.run(5_000.0)
+        # Node 1's scheduler evaluated q0 (whose source is on node 0)
+        # through the board without error and produced a finite slack for
+        # its local query.
+        sched1 = engine.node_schedulers[1]
+        assert queries[1].query_id in sched1.last_slacks
+
+    def test_aggregate_capacity_scales_with_nodes(self):
+        def run(nodes):
+            queries = [
+                make_simple_query(f"q{i}", rate_eps=30_000.0, cost_ms=0.05)
+                for i in range(4)
+            ]
+            plan = PhysicalPlan.locality(queries, nodes)
+            engine = DistributedEngine.with_policy(
+                queries, plan, DefaultScheduler, cores_per_node=2
+            )
+            return engine.run(10_000.0).total_events_processed
+
+        assert run(4) > run(1) * 1.2
+
+
+class TestDistributedUnderStress:
+    def test_distributed_klink_mm_throttles_cluster_wide(self):
+        from repro.spe.memory import MemoryConfig
+
+        queries = [
+            make_simple_query(f"q{i}", rate_eps=30_000.0, cost_ms=0.2)
+            for i in range(4)
+        ]
+        plan = PhysicalPlan.locality(queries, 2)
+        engine = DistributedEngine.with_klink(
+            queries,
+            plan,
+            cores_per_node=2,
+            memory=MemoryConfig(capacity_bytes=2_000_000.0),
+        )
+        metrics = engine.run(20_000.0)
+        # Memory management engaged on at least one node and input was
+        # shed while it ran.
+        episodes = sum(s.mm_episodes for s in engine.node_schedulers)
+        assert episodes > 0
+        assert metrics.events_shed > 0
+
+    def test_overhead_charged_per_node(self):
+        queries = [make_simple_query(f"q{i}") for i in range(4)]
+        plan = PhysicalPlan.locality(queries, 2)
+        engine = DistributedEngine.with_klink(queries, plan)
+        metrics = engine.run(5_000.0)
+        # Both nodes' Klink instances contribute evaluation overhead.
+        single = Engine(
+            [make_simple_query(f"s{i}") for i in range(4)],
+            __import__("repro.core.klink", fromlist=["KlinkScheduler"]).KlinkScheduler(),
+        )
+        single_metrics = single.run(5_000.0)
+        assert metrics.scheduler_overhead_ms > single_metrics.scheduler_overhead_ms
+
+
+class TestSweepHelper:
+    def test_sweep_returns_grid(self):
+        from repro.bench.runner import ExperimentConfig, sweep
+
+        base = ExperimentConfig(
+            workload="ysb", duration_ms=25_000.0, cores=4, seed=42
+        )
+        grid = sweep(base, ["Default", "Klink"], [1, 2])
+        assert set(grid) == {
+            ("Default", 1), ("Default", 2), ("Klink", 1), ("Klink", 2)
+        }
+        for res in grid.values():
+            assert res.metrics.cycles > 0

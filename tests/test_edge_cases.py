@@ -1,0 +1,152 @@
+"""Edge-case tests across modules: configurations at the boundaries of
+the model's assumptions."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import DefaultScheduler, FCFSScheduler
+from repro.core.klink import KlinkScheduler
+from repro.core.scheduler import SchedulerContext
+from repro.spe.engine import Engine
+from repro.spe.events import EventBatch, Watermark
+from repro.spe.operators import SinkOperator, WindowedAggregate
+from repro.spe.windows import TumblingEventTimeWindows
+from tests.helpers import make_join_query, make_simple_query
+
+
+class TestSchedulersWithEmptyInput:
+    @pytest.mark.parametrize(
+        "scheduler_cls", [DefaultScheduler, FCFSScheduler, KlinkScheduler]
+    )
+    def test_plan_with_no_queries(self, scheduler_cls):
+        ctx = SchedulerContext(now=0.0, cycle_ms=120.0, cores=4, queries=[])
+        plan = scheduler_cls().plan(ctx)
+        assert plan.allocations == []
+
+
+class TestWatermarkPeriodVsWindowSize:
+    def test_coarse_watermarks_sweep_multiple_deadlines(self):
+        # Watermark period 3x the window: each watermark sweeps 3 panes.
+        q = make_simple_query(
+            window_ms=500.0, watermark_period_ms=1500.0, delay_ms=0.0
+        )
+        engine = Engine([q], DefaultScheduler(), cores=4, cycle_ms=100.0)
+        metrics = engine.run(10_000.0)
+        window = q.windowed_operators()[0]
+        # ~6 watermarks, ~18 panes fired, but only ~6 SWMs at the sink
+        # (one flagged watermark per ingestion).
+        assert window.stats.panes_fired >= 12
+        assert len(metrics.swm_latencies) <= window.stats.panes_fired
+
+    def test_fine_watermarks_mostly_non_sweeping(self):
+        q = make_simple_query(
+            window_ms=2000.0, watermark_period_ms=100.0, delay_ms=0.0
+        )
+        engine = Engine([q], DefaultScheduler(), cores=4, cycle_ms=100.0)
+        metrics = engine.run(10_000.0)
+        window = q.windowed_operators()[0]
+        # Most watermarks are progress-only; pane firings track windows.
+        assert window.stats.watermarks_seen > 4 * window.stats.panes_fired
+
+
+class TestDegenerateSelectivity:
+    def test_zero_selectivity_filter_starves_window(self):
+        q = make_simple_query(selectivity=0.0)
+        engine = Engine([q], DefaultScheduler(), cores=4, cycle_ms=100.0)
+        metrics = engine.run(10_000.0)
+        window = q.windowed_operators()[0]
+        assert window.stats.events_in == 0
+        # Watermarks still flow, panes have no deadline-holding events, so
+        # no SWM-flagged firings occur (nothing was buffered).
+        assert all(lat >= 0 for lat in metrics.swm_latencies)
+
+    def test_window_with_zero_outputs_per_pane(self):
+        window = WindowedAggregate(
+            "w", TumblingEventTimeWindows(1000.0), 0.01,
+            output_events_per_pane=0.0,
+        )
+        sink = SinkOperator("s")
+        window.connect(sink)
+        window.inputs[0].push(EventBatch(count=10, t_start=0, t_end=900), 0.0)
+        window.inputs[0].push(Watermark(1000.0), 0.0)
+        window.step(1e9, 0.0)
+        # Pane fires (state released, SWM flagged) but emits no data.
+        assert window.stats.panes_fired == 1
+        records = [e.record for e in list(sink.inputs[0])]
+        assert all(not isinstance(r, EventBatch) for r in records)
+        assert any(isinstance(r, Watermark) and r.is_swm for r in records)
+
+
+class TestExtremeCycles:
+    def test_tiny_cycle(self):
+        q = make_simple_query(rate_eps=200.0)
+        engine = Engine([q], KlinkScheduler(), cores=2, cycle_ms=5.0)
+        metrics = engine.run(5_000.0)
+        assert metrics.cycles == 1000
+        assert len(metrics.swm_latencies) >= 3
+
+    def test_cycle_longer_than_window(self):
+        q = make_simple_query(window_ms=500.0, rate_eps=200.0)
+        engine = Engine([q], KlinkScheduler(), cores=2, cycle_ms=2_000.0)
+        metrics = engine.run(20_000.0)
+        # Windows fire in bursts at cycle boundaries but none are lost.
+        window = q.windowed_operators()[0]
+        assert window.stats.panes_fired >= 8
+
+
+class TestJoinEdgeCases:
+    def test_three_way_join_needs_all_streams(self):
+        q = make_join_query(n_inputs=3, delays_ms=(0.0, 0.0, 0.0),
+                            window_ms=1000.0, slide_ms=1000.0)
+        join = q.join_operators()[0]
+        join.inputs[0].push(Watermark(1000.0), 0.0)
+        join.inputs[1].push(Watermark(1000.0), 0.0)
+        join.step(1e9, 0.0)
+        assert join.event_clock == -math.inf  # third stream silent
+        join.inputs[2].push(Watermark(1000.0), 0.0)
+        join.step(1e9, 0.0)
+        assert join.event_clock == 1000.0
+
+    def test_asymmetric_delays_slow_the_join(self):
+        fast = make_join_query("fast", delays_ms=(10.0, 10.0))
+        slow = make_join_query("slow", delays_ms=(10.0, 400.0))
+        lat = {}
+        for q in (fast, slow):
+            engine = Engine([q], DefaultScheduler(), cores=4, cycle_ms=100.0)
+            m = engine.run(15_000.0)
+            lat[q.query_id] = m.mean_latency_ms
+        # A join is as fresh as its slowest stream's watermark: the
+        # 400 ms-lateness stream adds its bound to output latency.
+        assert lat["slow"] > lat["fast"] + 300.0
+
+
+class TestSchedulerReset:
+    def test_reset_between_runs_restores_determinism(self):
+        def run(scheduler):
+            q = make_simple_query(rate_eps=3000.0)
+            engine = Engine([q], scheduler, cores=2, cycle_ms=100.0, seed=3)
+            return engine.run(10_000.0).swm_latencies
+
+        sched = KlinkScheduler()
+        first = run(sched)
+        sched.reset()
+        second = run(sched)
+        assert first == second
+
+
+class TestMultiQueryIsolation:
+    def test_queries_do_not_share_channels(self):
+        a, b = make_simple_query("a"), make_simple_query("b")
+        ops_a = {id(ch) for op in a.operators for ch in op.inputs}
+        ops_b = {id(ch) for op in b.operators for ch in op.inputs}
+        assert not ops_a & ops_b
+
+    def test_one_query_overload_does_not_corrupt_other_metrics(self):
+        heavy = make_simple_query("heavy", rate_eps=50_000.0, cost_ms=0.2)
+        light = make_simple_query("light", rate_eps=100.0)
+        engine = Engine([heavy, light], KlinkScheduler(), cores=2,
+                        cycle_ms=100.0)
+        metrics = engine.run(15_000.0)
+        assert "light" in metrics.per_query_swm_latencies
+        assert len(metrics.per_query_swm_latencies["light"]) >= 8

@@ -1,0 +1,196 @@
+"""Unit and integration tests for the single-node engine: generation,
+ingestion, watermark semantics end-to-end, backpressure/shedding, the
+pressure tax, and plan execution modes."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import DefaultScheduler, FCFSScheduler
+from repro.core.klink import KlinkScheduler
+from repro.spe.engine import Engine
+from repro.spe.memory import MemoryConfig
+from tests.helpers import make_join_query, make_simple_query
+
+
+def run_engine(queries, scheduler=None, duration=10_000.0, **kw):
+    engine = Engine(queries, scheduler or DefaultScheduler(), cores=4,
+                    cycle_ms=100.0, **kw)
+    metrics = engine.run(duration)
+    return engine, metrics
+
+
+class TestConstruction:
+    def test_rejects_no_queries(self):
+        with pytest.raises(ValueError):
+            Engine([], DefaultScheduler())
+
+    def test_rejects_bad_cores_or_cycle(self):
+        q = make_simple_query()
+        with pytest.raises(ValueError):
+            Engine([q], DefaultScheduler(), cores=0)
+        with pytest.raises(ValueError):
+            Engine([q], DefaultScheduler(), cycle_ms=0.0)
+
+    def test_rejects_duplicate_query_ids(self):
+        with pytest.raises(ValueError):
+            Engine(
+                [make_simple_query("same"), make_simple_query("same")],
+                DefaultScheduler(),
+            )
+
+    def test_rejects_nonpositive_duration(self):
+        q = make_simple_query()
+        with pytest.raises(ValueError):
+            Engine([q], DefaultScheduler()).run(0.0)
+
+
+class TestGenerationAndIngestion:
+    def test_events_are_generated_at_configured_rate(self):
+        q = make_simple_query(rate_eps=1000.0)
+        _, metrics = run_engine([q], duration=10_000.0)
+        # ~10 seconds of 1000 ev/s, minus the generation/ingestion tail.
+        assert metrics.total_events_ingested == pytest.approx(10_000, rel=0.05)
+
+    def test_constant_delay_shifts_ingestion(self):
+        q = make_simple_query(delay_ms=500.0, rate_eps=100.0)
+        engine, metrics = run_engine([q], duration=5_000.0)
+        assert metrics.total_events_ingested < 5 * 100  # tail in flight
+        assert metrics.total_events_ingested > 3 * 100
+
+    def test_deployment_delays_generation(self):
+        q = make_simple_query(deployed_at=5_000.0, rate_eps=1000.0)
+        _, metrics = run_engine([q], duration=10_000.0)
+        assert metrics.total_events_ingested == pytest.approx(5_000, rel=0.1)
+
+    def test_burst_state_machine_preserves_mean_rate(self):
+        # The ON/OFF modulation keeps the long-run mean at rate_eps; with
+        # ~10 s burst cycles this needs long horizons and several seeds to
+        # average out (a single 60 s run can realize a duty of 0.2-0.4).
+        totals = []
+        for seed in range(4):
+            q = make_simple_query(f"b{seed}", rate_eps=1000.0,
+                                  burst_factor=3.0, seed=seed)
+            _, metrics = run_engine([q], duration=240_000.0)
+            totals.append(metrics.total_events_ingested)
+        mean_total = sum(totals) / len(totals)
+        assert mean_total == pytest.approx(240_000, rel=0.1)
+
+
+class TestEndToEndWindowing:
+    def test_windows_fire_and_latency_recorded(self):
+        q = make_simple_query(window_ms=1000.0, watermark_period_ms=500.0,
+                              delay_ms=50.0)
+        _, metrics = run_engine([q], duration=10_000.0)
+        # ~10 windows fire over 10 s.
+        assert len(metrics.swm_latencies) >= 7
+        assert all(lat > 0 for lat in metrics.swm_latencies)
+
+    def test_latency_includes_delay_and_lateness(self):
+        q = make_simple_query(delay_ms=200.0, window_ms=1000.0)
+        _, metrics = run_engine([q], duration=10_000.0)
+        # SWM event-time lags its generation by the lateness (=200 ms) and
+        # its arrival by the network delay (200 ms) plus scheduling.
+        assert min(metrics.swm_latencies) >= 400.0
+
+    def test_latency_markers_measured(self):
+        q = make_simple_query()
+        _, metrics = run_engine([q], duration=5_000.0)
+        # one marker per 200 ms
+        assert len(metrics.marker_latencies) >= 20
+
+    def test_slowdown_derived_from_latency(self):
+        q = make_simple_query()
+        _, metrics = run_engine([q], duration=5_000.0)
+        ideal = q.pipeline_cost_per_event_ms()
+        assert metrics.slowdowns
+        assert metrics.slowdowns[0] == pytest.approx(
+            metrics.swm_latencies[0] / ideal
+        )
+
+    def test_join_query_runs_end_to_end(self):
+        q = make_join_query(window_ms=1000.0, slide_ms=1000.0)
+        _, metrics = run_engine([q], duration=10_000.0)
+        assert len(metrics.swm_latencies) >= 5
+
+    def test_no_late_drops_with_adequate_lateness(self):
+        q = make_simple_query(delay_ms=100.0)
+        _, metrics = run_engine([q], duration=10_000.0)
+        assert metrics.late_events_dropped == 0.0
+
+
+class TestBackpressureAndShedding:
+    def test_backpressure_sheds_events(self):
+        # Tiny memory: ingestion throttles, events are shed, memory bounded.
+        q = make_simple_query(rate_eps=50_000.0, cost_ms=1.0)
+        _, metrics = run_engine(
+            [q],
+            duration=10_000.0,
+            memory=MemoryConfig(capacity_bytes=50_000.0,
+                                backpressure_threshold=0.9),
+        )
+        assert metrics.backpressure_cycles > 0
+        assert metrics.events_shed > 0
+
+    def test_watermarks_flow_under_backpressure(self):
+        q = make_simple_query(rate_eps=50_000.0, cost_ms=1.0)
+        _, metrics = run_engine(
+            [q],
+            duration=10_000.0,
+            memory=MemoryConfig(capacity_bytes=50_000.0,
+                                backpressure_threshold=0.9),
+        )
+        # Windows still fire: control records are never shed.
+        assert len(metrics.swm_latencies) > 0
+
+    def test_pressure_tax_reduces_effective_cpu(self):
+        config = MemoryConfig(
+            capacity_bytes=100_000.0,
+            pressure_tax_start=0.0,
+            pressure_tax_full=0.5,
+            pressure_tax_max=0.5,
+        )
+        q_heavy = make_simple_query(rate_eps=20_000.0, cost_ms=0.2)
+        _, taxed = run_engine([q_heavy], duration=10_000.0, memory=config)
+        q_heavy2 = make_simple_query(rate_eps=20_000.0, cost_ms=0.2)
+        _, untaxed = run_engine([q_heavy2], duration=10_000.0)
+        assert taxed.total_events_processed <= untaxed.total_events_processed
+
+
+class TestPlanExecution:
+    def test_share_and_priority_equivalent_when_underloaded(self):
+        qa = make_simple_query("qa", rate_eps=500.0)
+        _, share = run_engine([qa], DefaultScheduler(), duration=10_000.0)
+        qb = make_simple_query("qb", rate_eps=500.0)
+        _, prio = run_engine([qb], FCFSScheduler(), duration=10_000.0)
+        assert share.mean_latency_ms == pytest.approx(
+            prio.mean_latency_ms, rel=0.15
+        )
+
+    def test_cpu_fraction_bounded(self):
+        q = make_simple_query(rate_eps=100.0)
+        _, metrics = run_engine([q], duration=5_000.0)
+        assert all(0.0 <= s.cpu_fraction <= 1.0 + 1e-9 for s in metrics.samples)
+
+    def test_scheduler_overhead_accumulates(self):
+        q = make_simple_query()
+        _, metrics = run_engine([q], KlinkScheduler(), duration=5_000.0)
+        assert metrics.scheduler_overhead_ms > 0
+
+    def test_cycles_counted(self):
+        q = make_simple_query()
+        _, metrics = run_engine([q], duration=5_000.0)
+        assert metrics.cycles == 50  # 5000 ms / 100 ms
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def run(seed):
+            q = make_simple_query()
+            engine = Engine([q], DefaultScheduler(), cores=4,
+                            cycle_ms=100.0, seed=seed)
+            return engine.run(5_000.0)
+
+        a, b = run(7), run(7)
+        assert a.swm_latencies == b.swm_latencies
+        assert a.total_events_processed == b.total_events_processed

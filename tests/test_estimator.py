@@ -1,0 +1,172 @@
+"""Unit tests for the SWM ingestion estimator (Sec. 3.1, Eqs. 2-6)."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import (
+    SwmEstimate,
+    SwmIngestionEstimator,
+    Z_SCORES,
+    z_for_confidence,
+)
+from repro.net.delays import ConstantDelay, UniformDelay
+from repro.spe.operators import MapOperator
+from repro.spe.query import SourceBinding, SourceSpec
+from repro.spe.windows import TumblingEventTimeWindows
+
+
+def make_binding(delay_model=None, window_ms=1000.0, period=500.0, lateness=None):
+    delay_model = delay_model or ConstantDelay(100.0)
+    spec = SourceSpec(
+        name="s",
+        rate_eps=1000.0,
+        watermark_period_ms=period,
+        lateness_ms=delay_model.bound if lateness is None else lateness,
+        delay_model=delay_model,
+    )
+    op = MapOperator("probe", 0.0)
+    binding = SourceBinding(spec, op)
+    binding.bind_progress(TumblingEventTimeWindows(window_ms))
+    return binding
+
+
+class TestZScores:
+    def test_paper_confidence_values_tabulated(self):
+        for f in (100.0, 99.0, 95.0, 90.0, 67.0):
+            assert f in Z_SCORES
+
+    def test_algorithm1_uses_two_sigma_for_95(self):
+        assert z_for_confidence(95.0) == 2.0
+
+    def test_interpolated_confidence(self):
+        # Non-tabulated values fall back to the inverse normal CDF.
+        z = z_for_confidence(80.0)
+        assert 1.0 < z < 1.645
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            z_for_confidence(0.0)
+        with pytest.raises(ValueError):
+            z_for_confidence(101.0)
+
+
+class TestSwmGenerationTime:
+    def test_first_grid_point_covering_deadline(self):
+        # deadline 1000, lateness 100 -> target 1100 -> grid 500 -> 1500
+        g = SwmIngestionEstimator.swm_generation_time(1000.0, 500.0, 100.0)
+        assert g == 1500.0
+
+    def test_exact_grid_point(self):
+        g = SwmIngestionEstimator.swm_generation_time(900.0, 500.0, 100.0)
+        assert g == 1000.0
+
+    def test_phase_shifts_grid(self):
+        g = SwmIngestionEstimator.swm_generation_time(
+            1000.0, 500.0, 100.0, phase=200.0
+        )
+        assert g == 1200.0
+        assert (g - 200.0) % 500.0 == 0.0
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            SwmIngestionEstimator.swm_generation_time(0.0, 0.0, 0.0)
+
+
+class TestDelayMoments:
+    def test_constant_delay_yields_zero_variance_floor(self):
+        binding = make_binding(ConstantDelay(100.0))
+        progress = binding.progress
+        for i in range(5):
+            progress.observe_delay(100.0)
+            progress.observe_watermark((i + 1) * 1000.0, (i + 1) * 1000.0 + 100)
+        est = SwmIngestionEstimator()
+        mu, chi = est.delay_moments(progress)
+        assert mu == pytest.approx(100.0)
+        assert est.delay_std(progress) == 1.0  # floored, not zero
+
+    def test_variance_matches_population(self):
+        binding = make_binding(UniformDelay(0.0, 200.0, seed=0))
+        progress = binding.progress
+        model = binding.spec.delay_model
+        for i in range(200):
+            for _ in range(30):
+                progress.observe_delay(model.sample())
+            progress.observe_watermark((i + 1) * 1000.0, (i + 1) * 1000.0 + 100)
+        est = SwmIngestionEstimator()
+        # population std of U(0,200) = 200/sqrt(12) ~ 57.7
+        assert est.delay_std(progress) == pytest.approx(57.7, rel=0.1)
+
+    def test_history_limits_window(self):
+        binding = make_binding()
+        progress = binding.progress
+        # 10 epochs of delay 100, then 10 of delay 300
+        for i in range(20):
+            progress.observe_delay(100.0 if i < 10 else 300.0)
+            progress.observe_watermark((i + 1) * 1000.0, (i + 1) * 1000.0)
+        short = SwmIngestionEstimator(history=5)
+        mu_short, _ = short.delay_moments(progress)
+        long = SwmIngestionEstimator(history=400)
+        mu_long, _ = long.delay_moments(progress)
+        # The short window tracks the recent regime much more closely;
+        # both include the in-flight epoch's fallback (full-history mean),
+        # which pulls the short estimate slightly below 300.
+        assert mu_short > 270.0
+        assert mu_short > mu_long
+        assert 100.0 < mu_long < 300.0
+
+    def test_rejects_empty_history_config(self):
+        with pytest.raises(ValueError):
+            SwmIngestionEstimator(history=0)
+
+
+class TestEstimate:
+    def test_estimate_structure(self):
+        binding = make_binding(ConstantDelay(100.0))
+        est = SwmIngestionEstimator(confidence=95.0)
+        e = est.estimate(binding)
+        assert e is not None
+        assert e.deadline == 1000.0
+        # generation: deadline 1000 + lateness 100 -> grid 500 -> 1500
+        assert e.swm_generation == 1500.0
+        assert e.t_min <= e.mean <= e.t_max
+        assert e.t_max - e.t_min == pytest.approx(2 * est.z * e.std)
+
+    def test_estimate_mean_adds_expected_delay(self):
+        binding = make_binding(ConstantDelay(100.0))
+        progress = binding.progress
+        progress.observe_delay(100.0)
+        e = SwmIngestionEstimator().estimate(binding)
+        assert e.mean == pytest.approx(1600.0)  # generation + mu
+
+    def test_no_window_downstream_returns_none(self):
+        binding = make_binding()
+        binding.bind_progress(None)
+        assert SwmIngestionEstimator().estimate(binding) is None
+
+    def test_explicit_deadline_override(self):
+        binding = make_binding(ConstantDelay(0.0))
+        e = SwmIngestionEstimator().estimate(binding, deadline=5000.0)
+        assert e.deadline == 5000.0
+        assert e.swm_generation >= 5000.0
+
+    def test_contains(self):
+        e = SwmEstimate(
+            mean=100.0, std=10.0, t_min=80.0, t_max=120.0,
+            deadline=0.0, swm_generation=0.0,
+        )
+        assert e.contains(100.0)
+        assert e.contains(80.0) and e.contains(120.0)
+        assert not e.contains(79.9)
+        assert not e.contains(121.0)
+
+    def test_higher_confidence_widens_interval(self):
+        binding = make_binding(UniformDelay(0, 200, seed=1))
+        progress = binding.progress
+        model = binding.spec.delay_model
+        for i in range(50):
+            progress.observe_delay(model.sample())
+            progress.observe_watermark((i + 1) * 1000.0, (i + 1) * 1000.0)
+        e90 = SwmIngestionEstimator(confidence=90.0).estimate(binding)
+        e99 = SwmIngestionEstimator(confidence=99.0).estimate(binding)
+        assert (e99.t_max - e99.t_min) > (e90.t_max - e90.t_min)

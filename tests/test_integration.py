@@ -1,0 +1,140 @@
+"""Integration tests: full engine runs exercising the paper's headline
+behaviours end-to-end on small configurations (kept fast for CI)."""
+
+import pytest
+
+from repro.core.baselines import DefaultScheduler, StreamBoxScheduler
+from repro.core.klink import KlinkScheduler
+from repro.spe.engine import Engine
+from repro.spe.memory import GIB, MemoryConfig
+from repro.workloads import WorkloadParams, build_queries
+from tests.helpers import make_join_query, make_simple_query
+
+
+def run(queries, scheduler, duration=30_000.0, memory_gb=None, cores=24):
+    memory = (
+        MemoryConfig(capacity_bytes=memory_gb * GIB) if memory_gb else None
+    )
+    engine = Engine(queries, scheduler, cores=cores, cycle_ms=120.0,
+                    memory=memory)
+    return engine.run(duration)
+
+
+class TestWorkloadsEndToEnd:
+    @pytest.mark.parametrize("workload", ["ysb", "lrb", "nyt"])
+    def test_each_benchmark_produces_output(self, workload):
+        queries = build_queries(workload, 4, WorkloadParams(seed=0))
+        metrics = run(queries, DefaultScheduler())
+        assert len(metrics.swm_latencies) > 0
+        assert metrics.total_events_processed > 0
+        assert all(q.sink.events_delivered > 0 for q in queries)
+
+    def test_all_queries_make_progress(self):
+        queries = build_queries("ysb", 6, WorkloadParams(seed=0))
+        metrics = run(queries, KlinkScheduler())
+        for q in queries:
+            assert q.sink.swm_latencies, q.query_id
+
+    def test_zipf_delays_run(self):
+        queries = build_queries("ysb", 3, WorkloadParams(seed=0, delay="zipf"))
+        metrics = run(queries, KlinkScheduler())
+        assert len(metrics.swm_latencies) > 0
+
+
+class TestSchedulingBehaviour:
+    def test_klink_beats_default_under_contention(self):
+        """The headline claim at small scale: under CPU+memory contention
+        Klink's mean output latency is well below Default's."""
+
+        def latency(scheduler):
+            queries = build_queries("ysb", 60, WorkloadParams(seed=1))
+            metrics = run(
+                queries, scheduler, duration=60_000.0, memory_gb=1.0
+            )
+            return metrics.mean_latency_ms
+
+        assert latency(KlinkScheduler()) < latency(DefaultScheduler()) * 0.7
+
+    def test_klink_matches_baselines_underloaded(self):
+        def latency(scheduler):
+            queries = build_queries("ysb", 4, WorkloadParams(seed=1))
+            return run(queries, scheduler, duration=30_000.0).mean_latency_ms
+
+        klink = latency(KlinkScheduler())
+        default = latency(DefaultScheduler())
+        assert klink == pytest.approx(default, rel=0.15)
+
+    def test_memory_management_reduces_memory_footprint(self):
+        def mem(scheduler):
+            queries = build_queries("ysb", 60, WorkloadParams(seed=1))
+            metrics = run(queries, scheduler, duration=60_000.0, memory_gb=1.0)
+            return metrics.mean_memory_bytes
+
+        with_mm = mem(KlinkScheduler())
+        without = mem(KlinkScheduler(enable_memory_management=False))
+        assert with_mm < without * 0.6
+
+    def test_swm_counts_comparable_across_policies(self):
+        # No policy silently suppresses window output under light load.
+        counts = {}
+        for scheduler in (DefaultScheduler(), StreamBoxScheduler(), KlinkScheduler()):
+            queries = build_queries("ysb", 6, WorkloadParams(seed=2))
+            counts[scheduler.name] = len(
+                run(queries, scheduler, duration=30_000.0).swm_latencies
+            )
+        assert max(counts.values()) - min(counts.values()) <= 3, counts
+
+
+class TestWatermarkCorrectness:
+    def test_swm_latency_floor_respects_physics(self):
+        # Latency can never be below (lateness + network delay) because
+        # the sweeping watermark's event-time lags its generation.
+        q = make_simple_query(delay_ms=100.0, window_ms=1000.0)
+        metrics = run([q], DefaultScheduler(), duration=20_000.0, cores=4)
+        assert min(metrics.swm_latencies) >= 200.0 - 1e-6
+
+    def test_windows_fire_in_deadline_order(self):
+        q = make_simple_query(window_ms=1000.0)
+        engine = Engine([q], DefaultScheduler(), cores=4, cycle_ms=100.0)
+        engine.run(15_000.0)
+        times = [t for t, _ in q.sink.swm_latencies]
+        assert times == sorted(times)
+
+    def test_join_output_requires_all_streams(self):
+        # Stop one stream's generation after 5 s; the join's event clock
+        # stalls at that stream's last watermark.
+        q = make_join_query(
+            window_ms=1000.0, slide_ms=1000.0, watermark_period_ms=500.0
+        )
+        engine = Engine([q], DefaultScheduler(), cores=4, cycle_ms=100.0)
+        engine.run(5_000.0)
+        fired_at_5s = q.join_operators()[0].stats.panes_fired
+        # Freeze stream 1 by pushing its generation cursor beyond the run.
+        q.bindings[1].next_gen_time = 1e12
+        q.bindings[1].next_watermark_time = 1e12
+        q.bindings[1].next_marker_time = 1e12
+        engine.run(5_000.0)
+        fired_at_10s = q.join_operators()[0].stats.panes_fired
+        assert fired_at_10s <= fired_at_5s + 1  # at most one in-flight pane
+
+
+class TestRobustness:
+    def test_extreme_overload_stays_bounded(self):
+        # 100x overload: shedding keeps memory bounded and the run finishes.
+        q = make_simple_query(rate_eps=100_000.0, cost_ms=1.0)
+        metrics = run(
+            [q], DefaultScheduler(), duration=20_000.0, memory_gb=0.001,
+            cores=2,
+        )
+        assert metrics.events_shed > 0
+        peak = max(s.memory_bytes for s in metrics.samples)
+        # Backpressure is evaluated at cycle boundaries, so the footprint
+        # can overshoot the cap by up to ~one cycle of arrivals.
+        cycle_arrivals_bytes = 100_000.0 * 0.120 * 100 * 2
+        assert peak <= 0.001 * GIB + cycle_arrivals_bytes
+
+    def test_idle_query_costs_nothing(self):
+        q = make_simple_query(rate_eps=0.0)
+        metrics = run([q], KlinkScheduler(), duration=10_000.0, cores=2)
+        assert metrics.total_events_processed == 0.0
+        assert metrics.mean_cpu_fraction < 0.01

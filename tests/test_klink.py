@@ -1,0 +1,233 @@
+"""Unit tests for the Klink scheduler: slack evaluation, SWM urgency,
+join handling, memory-management transitions, and overhead accounting."""
+
+import math
+
+import pytest
+
+from repro.core.klink import KlinkScheduler
+from repro.core.scheduler import SchedulerContext
+from repro.spe.events import EventBatch, Watermark
+from tests.helpers import make_join_query, make_simple_query
+
+
+def ctx_for(queries, now=0.0, mem=0.0, cycle=120.0):
+    return SchedulerContext(
+        now=now, cycle_ms=cycle, cores=4, queries=queries,
+        memory_utilization=mem,
+    )
+
+
+def enqueue(query, count=10, arrival=0.0, t0=0.0, t1=100.0):
+    query.operators[0].inputs[0].push(
+        EventBatch(count=count, t_start=t0, t_end=t1), arrival
+    )
+
+
+class TestSlackEvaluation:
+    def test_earlier_deadline_gets_lower_slack(self):
+        early = make_simple_query("early", window_ms=500.0)
+        late = make_simple_query("late", window_ms=5000.0)
+        klink = KlinkScheduler()
+        ctx = ctx_for([early, late])
+        sl_early, _ = klink.query_slack(early, ctx)
+        sl_late, _ = klink.query_slack(late, ctx)
+        assert sl_early < sl_late
+
+    def test_queued_work_reduces_slack(self):
+        idle = make_simple_query("idle", cost_ms=1.0)
+        busy = make_simple_query("busy", cost_ms=1.0)
+        enqueue(busy, count=200)
+        klink = KlinkScheduler()
+        ctx = ctx_for([idle, busy])
+        assert klink.query_slack(busy, ctx)[0] < klink.query_slack(idle, ctx)[0]
+
+    def test_windowless_query_has_infinite_slack(self):
+        from repro.spe.operators import MapOperator, SinkOperator
+        from repro.spe.query import Query, SourceBinding, SourceSpec
+        from repro.net.delays import ConstantDelay
+
+        model = ConstantDelay(0.0)
+        spec = SourceSpec("s", 100.0, 500.0, 0.0, model)
+        m = MapOperator("m", 0.01)
+        sink = SinkOperator("snk")
+        m.connect(sink)
+        q = Query("plain", [SourceBinding(spec, m)], [m, sink], sink)
+        klink = KlinkScheduler()
+        slack, steps = klink.query_slack(q, ctx_for([q]))
+        assert math.isinf(slack)
+
+    def test_plan_orders_by_slack(self):
+        early = make_simple_query("early", window_ms=500.0)
+        late = make_simple_query("late", window_ms=5000.0)
+        plan = KlinkScheduler().plan(ctx_for([late, early]))
+        assert plan.allocations[0].query is early
+        assert plan.mode == "priority"
+        assert not plan.throttle_ingestion
+
+
+class TestPendingSwmUrgency:
+    def make_pending(self, query_id="pend", window_ms=1000.0):
+        """A query whose SWM was ingested but not yet processed."""
+        q = make_simple_query(query_id, window_ms=window_ms)
+        window = q.windowed_operators()[0]
+        # Buffer events into the first pane.
+        window.inputs[0].push(
+            EventBatch(count=5, t_start=0, t_end=500), 0.0
+        )
+        window.step(1e9, 0.0)
+        # The engine ingested a sweeping watermark (progress knows), but
+        # the watermark record is still queued upstream of the window.
+        q.bindings[0].progress.observe_watermark(window_ms, now=window_ms + 100)
+        return q
+
+    def test_pending_swm_detected(self):
+        q = self.make_pending()
+        slack = KlinkScheduler._pending_swm_slack(q, now=1200.0)
+        assert slack is not None
+        assert slack == pytest.approx(1000.0 - 1200.0)
+
+    def test_no_pending_without_buffered_pane(self):
+        q = make_simple_query()
+        q.bindings[0].progress.observe_watermark(1000.0, now=1100.0)
+        assert KlinkScheduler._pending_swm_slack(q, now=1200.0) is None
+
+    def test_no_pending_before_swm_ingestion(self):
+        q = make_simple_query()
+        window = q.windowed_operators()[0]
+        window.inputs[0].push(EventBatch(count=5, t_start=0, t_end=500), 0.0)
+        window.step(1e9, 0.0)
+        assert KlinkScheduler._pending_swm_slack(q, now=500.0) is None
+
+    def test_pending_query_preempts_proactive_ones(self):
+        pending = self.make_pending()
+        upcoming = make_simple_query("up", window_ms=1000.0)
+        klink = KlinkScheduler()
+        ctx = ctx_for([upcoming, pending], now=1200.0)
+        plan = klink.plan(ctx)
+        assert plan.allocations[0].query is pending
+
+    def test_older_pending_deadline_first(self):
+        older = self.make_pending("older", window_ms=500.0)
+        newer = self.make_pending("newer", window_ms=1000.0)
+        klink = KlinkScheduler()
+        ctx = ctx_for([newer, older], now=1500.0)
+        plan = klink.plan(ctx)
+        assert plan.allocations[0].query is older
+
+
+class TestJoinHandling:
+    def test_join_slack_uses_minimum_across_streams(self):
+        q = make_join_query(delays_ms=(0.0, 400.0))
+        klink = KlinkScheduler()
+        # Feed distinct delay histories per stream.
+        fast, slow = q.bindings
+        for i in range(5):
+            fast.progress.observe_delay(0.0)
+            slow.progress.observe_delay(400.0)
+            fast.progress.observe_watermark((i + 1) * 1000.0, (i + 1) * 1000.0)
+            slow.progress.observe_watermark((i + 1) * 1000.0, (i + 1) * 1000.0 + 400)
+        ctx = ctx_for([q], now=5000.0)
+        slack, _ = klink.query_slack(q, ctx)
+        # The min over streams is what Sec. 3.3 requires: recompute each
+        # stream's slack separately and check the query slack equals it.
+        from repro.core.slack import expected_slack
+
+        per_stream = []
+        for binding in q.bindings:
+            est = klink.estimator.estimate(binding, phase=q.deployed_at)
+            per_stream.append(
+                expected_slack(est, 5000.0, q.pending_cost_ms(), 120.0)
+            )
+        assert slack == pytest.approx(min(per_stream))
+
+
+class TestMemoryManagementTransitions:
+    def test_enters_mm_at_threshold(self):
+        klink = KlinkScheduler(memory_threshold=0.5)
+        q = make_simple_query()
+        enqueue(q)
+        klink.plan(ctx_for([q], mem=0.6))
+        assert klink._mm_active
+        assert klink.mm_episodes == 1
+
+    def test_stays_normal_below_threshold(self):
+        klink = KlinkScheduler(memory_threshold=0.5)
+        q = make_simple_query()
+        klink.plan(ctx_for([q], mem=0.4))
+        assert not klink._mm_active
+
+    def test_exits_after_releasing_half(self):
+        klink = KlinkScheduler(memory_threshold=0.5, mm_release_fraction=0.5)
+        q = make_simple_query()
+        klink.plan(ctx_for([q], mem=0.8, now=0.0))
+        assert klink._mm_active
+        klink.plan(ctx_for([q], mem=0.39, now=120.0))
+        assert not klink._mm_active
+
+    def test_exits_after_time_budget(self):
+        klink = KlinkScheduler(memory_threshold=0.5, mm_max_ms=1000.0)
+        q = make_simple_query()
+        klink.plan(ctx_for([q], mem=0.8, now=0.0))
+        klink.plan(ctx_for([q], mem=0.8, now=500.0))
+        assert klink._mm_active
+        klink.plan(ctx_for([q], mem=0.8, now=1500.0))
+        assert not klink._mm_active
+
+    def test_mm_disabled_variant_never_switches(self):
+        klink = KlinkScheduler(enable_memory_management=False)
+        q = make_simple_query()
+        plan = klink.plan(ctx_for([q], mem=0.99))
+        assert not klink._mm_active
+        assert not plan.throttle_ingestion
+        assert klink.name == "Klink (w/o MM)"
+
+    def test_mm_plan_throttles_ingestion(self):
+        klink = KlinkScheduler(memory_threshold=0.5)
+        q = make_simple_query()
+        enqueue(q)
+        plan = klink.plan(ctx_for([q], mem=0.8))
+        assert plan.throttle_ingestion
+
+    def test_mm_plan_includes_sink_in_prefixes(self):
+        klink = KlinkScheduler(memory_threshold=0.5)
+        q = make_simple_query(selectivity=0.25)
+        enqueue(q, count=100)
+        plan = klink.plan(ctx_for([q], mem=0.8))
+        ops = plan.allocations[0].runnable_operators()
+        assert q.sink in ops
+
+    def test_reset_clears_state(self):
+        klink = KlinkScheduler(memory_threshold=0.5)
+        q = make_simple_query()
+        klink.plan(ctx_for([q], mem=0.8))
+        klink.reset()
+        assert not klink._mm_active
+        assert klink.mm_episodes == 0
+        assert klink.last_slacks == {}
+
+
+class TestOverheadModel:
+    def test_overhead_scales_with_queries(self):
+        klink = KlinkScheduler()
+        few = [make_simple_query(f"a{i}") for i in range(2)]
+        many = [make_simple_query(f"b{i}") for i in range(20)]
+        klink.plan(ctx_for(few))
+        overhead_few = klink.overhead_ms(ctx_for(few))
+        klink.plan(ctx_for(many))
+        overhead_many = klink.overhead_ms(ctx_for(many))
+        assert overhead_many > overhead_few
+
+    def test_higher_confidence_costs_more(self):
+        queries = [make_simple_query(f"q{i}") for i in range(5)]
+        # Build some delay history so intervals are non-degenerate.
+        for q in queries:
+            p = q.bindings[0].progress
+            for i in range(10):
+                p.observe_delay(100.0 * (i % 3))
+                p.observe_watermark((i + 1) * 1000.0, (i + 1) * 1000.0 + 50)
+        k95 = KlinkScheduler(confidence=95.0)
+        k67 = KlinkScheduler(confidence=67.0)
+        k95.plan(ctx_for(queries, now=10_000.0))
+        k67.plan(ctx_for(queries, now=10_000.0))
+        assert k95.overhead_ms(ctx_for(queries)) >= k67.overhead_ms(ctx_for(queries))

@@ -1,0 +1,100 @@
+"""Unit tests for the memory model, backpressure, and the pressure tax."""
+
+import pytest
+
+from repro.spe.events import EventBatch
+from repro.spe.memory import GIB, MemoryConfig, MemoryModel
+from tests.helpers import make_simple_query
+
+
+def loaded_query(n_events=1000, bytes_per_event=100):
+    q = make_simple_query()
+    q.operators[0].inputs[0].push(
+        EventBatch(count=n_events, t_start=0, t_end=1,
+                   bytes_per_event=bytes_per_event),
+        0.0,
+    )
+    return q
+
+
+class TestMemoryConfig:
+    def test_defaults_match_paper_scale(self):
+        cfg = MemoryConfig()
+        assert cfg.capacity_bytes == 17.5 * GIB
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(capacity_bytes=0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(backpressure_threshold=0.0)
+        with pytest.raises(ValueError):
+            MemoryConfig(backpressure_threshold=1.5)
+
+    def test_rejects_inverted_tax_thresholds(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(pressure_tax_start=0.5, pressure_tax_full=0.4)
+
+    def test_rejects_tax_max_out_of_range(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(pressure_tax_max=1.0)
+
+
+class TestUtilization:
+    def test_used_bytes_sums_queries(self):
+        model = MemoryModel(MemoryConfig(capacity_bytes=1_000_000))
+        queries = [loaded_query(100), loaded_query(200)]
+        assert model.used_bytes(queries) == pytest.approx(30_000)
+
+    def test_utilization_fraction(self):
+        model = MemoryModel(MemoryConfig(capacity_bytes=100_000))
+        assert model.utilization([loaded_query(100)]) == pytest.approx(0.1)
+
+    def test_backpressure_at_threshold(self):
+        model = MemoryModel(
+            MemoryConfig(capacity_bytes=10_000, backpressure_threshold=0.9)
+        )
+        assert not model.backpressured([loaded_query(80)])
+        assert model.backpressured([loaded_query(90)])
+
+
+class TestPressureTax:
+    def make(self, start=0.05, full=0.35, mx=0.30):
+        return MemoryModel(
+            MemoryConfig(
+                pressure_tax_start=start,
+                pressure_tax_full=full,
+                pressure_tax_max=mx,
+            )
+        )
+
+    def test_no_tax_below_start(self):
+        assert self.make().pressure_tax(0.04) == 0.0
+        assert self.make().pressure_tax(0.05) == 0.0
+
+    def test_tax_saturates_at_full(self):
+        model = self.make()
+        assert model.pressure_tax(0.35) == pytest.approx(0.30)
+        assert model.pressure_tax(0.99) == pytest.approx(0.30)
+
+    def test_tax_is_monotone(self):
+        model = self.make()
+        taxes = [model.pressure_tax(u) for u in (0.1, 0.2, 0.3, 0.4)]
+        assert taxes == sorted(taxes)
+
+    def test_quadratic_ramp(self):
+        model = self.make(start=0.0, full=1.0, mx=0.4)
+        assert model.pressure_tax(0.5) == pytest.approx(0.4 * 0.25)
+
+
+class TestPerQueryBound:
+    def test_disabled_by_default(self):
+        model = MemoryModel()
+        assert not model.query_stalled(loaded_query(10_000_000))
+
+    def test_bound_stalls_heavy_query(self):
+        cfg = MemoryConfig(capacity_bytes=1_000_000, per_query_bound_fraction=0.01)
+        model = MemoryModel(cfg)
+        assert not model.query_stalled(loaded_query(50))     # 5 KB < 10 KB
+        assert model.query_stalled(loaded_query(200))        # 20 KB >= 10 KB

@@ -1,0 +1,77 @@
+"""Unit tests for Klink's memory-management prefix selection (Sec. 3.4)."""
+
+import pytest
+
+from repro.core.memory_policy import best_prefix
+from repro.spe.events import EventBatch, Watermark
+from tests.helpers import make_simple_query
+
+
+def enqueue(op, count, t0=0.0, t1=100.0):
+    op.inputs[0].push(EventBatch(count=count, t_start=t0, t_end=t1), 0.0)
+
+
+class TestBestPrefix:
+    def test_none_when_no_queued_events(self):
+        q = make_simple_query()
+        assert best_prefix(q, 120.0) is None
+
+    def test_prefix_extends_through_low_selectivity_window(self):
+        # Once the window's measured selectivity is low (it absorbed events
+        # without firing), the maximal-removal prefix runs through it.
+        q = make_simple_query(selectivity=0.5)
+        window = q.windowed_operators()[0]
+        enqueue(window, 100)
+        window.step(1e9, 0.0)  # absorb into pane state: measured sel ~ 0
+        enqueue(q.operators[0], 90)
+        plan = best_prefix(q, 120.0)
+        assert window in plan.operators
+
+    def test_removal_counts_filtered_mass(self):
+        q = make_simple_query(selectivity=0.25)
+        filt = q.operators[0]
+        # Teach the filter its selectivity first.
+        enqueue(filt, 100)
+        filt.step(1e9, 0.0)
+        q.operators[1].step(1e9, 0.0)
+        enqueue(filt, 100)
+        plan = best_prefix(q, 1e9)
+        # 100 queued at the filter: at least 75 are removed by the filter
+        # alone; the window absorbs the rest.
+        assert plan.total_removal >= 75.0
+
+    def test_pending_cost_positive(self):
+        q = make_simple_query(cost_ms=0.5)
+        enqueue(q.operators[0], 10)
+        plan = best_prefix(q, 120.0)
+        assert plan.pending_cost_ms > 0
+
+    def test_achievable_removal_scales_with_cycle(self):
+        q = make_simple_query(cost_ms=1.0, selectivity=0.5)
+        enqueue(q.operators[0], 1000)  # 1000 ms of work at the filter
+        plan = best_prefix(q, 120.0)
+        achievable_short = plan.achievable_removal(120.0)
+        achievable_long = plan.achievable_removal(1e9)
+        assert achievable_short < achievable_long
+        assert achievable_long == pytest.approx(plan.total_removal)
+
+    def test_achievable_removal_with_zero_cost(self):
+        q = make_simple_query(cost_ms=0.0, selectivity=0.5)
+        enqueue(q.operators[0], 100)
+        plan = best_prefix(q, 120.0)
+        assert plan.achievable_removal(120.0) == plan.total_removal
+
+    def test_worthwhile_flag(self):
+        q = make_simple_query(selectivity=0.5)
+        enqueue(q.operators[0], 100)
+        assert best_prefix(q, 120.0).worthwhile
+
+    def test_longer_prefix_never_removes_less(self):
+        q = make_simple_query(selectivity=0.5)
+        enqueue(q.operators[0], 50)
+        enqueue(q.windowed_operators()[0], 50)
+        plan = best_prefix(q, 120.0)
+        # The chosen prefix's removal is maximal over all prefixes; the
+        # whole pipeline's removal can't exceed it.
+        ops = q.operators
+        assert plan.total_removal >= 0.5 * 50  # at least the filter's share

@@ -1,0 +1,54 @@
+"""Unit tests for the virtual clock and time helpers."""
+
+import pytest
+
+from repro.spe.simtime import VirtualClock, millis, seconds
+
+
+class TestHelpers:
+    def test_seconds_converts_to_milliseconds(self):
+        assert seconds(2.5) == 2500.0
+
+    def test_millis_is_identity(self):
+        assert millis(120.0) == 120.0
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(42.0).now == 42.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(120.0)
+        clock.advance(30.0)
+        assert clock.now == 150.0
+
+    def test_advance_returns_new_time(self):
+        assert VirtualClock().advance(10.0) == 10.0
+
+    def test_advance_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_zero_is_allowed(self):
+        clock = VirtualClock(5.0)
+        clock.advance(0.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_moves_forward(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(25.0)
+        assert clock.now == 25.0
+
+    def test_advance_to_rejects_past(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0

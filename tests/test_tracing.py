@@ -1,0 +1,82 @@
+"""Unit tests for engine cycle tracing."""
+
+import csv
+
+import pytest
+
+from repro.core.klink import KlinkScheduler
+from repro.spe.engine import Engine
+from repro.spe.memory import MemoryConfig
+from repro.spe.tracing import CycleTracer
+from tests.helpers import make_simple_query
+
+
+def traced_run(duration=5_000.0, tracer=None, **engine_kw):
+    # NB: `tracer or CycleTracer()` would discard an empty tracer, whose
+    # __len__ makes it falsy.
+    tracer = tracer if tracer is not None else CycleTracer()
+    q = make_simple_query()
+    engine = Engine([q], KlinkScheduler(), cores=4, cycle_ms=100.0,
+                    tracer=tracer, **engine_kw)
+    engine.run(duration)
+    return tracer
+
+
+class TestCollection:
+    def test_one_row_per_cycle(self):
+        tracer = traced_run(duration=5_000.0)
+        assert len(tracer) == 50
+
+    def test_rows_carry_clock_and_plan(self):
+        tracer = traced_run()
+        row = tracer.last()
+        assert row.time == pytest.approx(5_000.0)
+        assert row.plan_mode == "priority"
+        assert row.head_queries == ["q0"]
+
+    def test_ring_buffer_bounded(self):
+        tracer = CycleTracer(max_rows=10)
+        traced_run(duration=5_000.0, tracer=tracer)
+        assert len(tracer) == 10
+        assert tracer.rows[0].time == pytest.approx(4_100.0)
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            CycleTracer(max_rows=0)
+        with pytest.raises(ValueError):
+            CycleTracer(head=-1)
+
+    def test_empty_tracer_last_is_none(self):
+        assert CycleTracer().last() is None
+
+
+class TestThrottledSpans:
+    def test_no_spans_without_pressure(self):
+        tracer = traced_run()
+        assert tracer.throttled_spans() == []
+
+    def test_backpressure_creates_spans(self):
+        tracer = CycleTracer()
+        q = make_simple_query(rate_eps=50_000.0, cost_ms=1.0)
+        engine = Engine(
+            [q], KlinkScheduler(), cores=4, cycle_ms=100.0, tracer=tracer,
+            memory=MemoryConfig(capacity_bytes=50_000.0,
+                                backpressure_threshold=0.5),
+        )
+        engine.run(10_000.0)
+        spans = tracer.throttled_spans()
+        assert spans
+        for start, end in spans:
+            assert start <= end
+
+
+class TestCsvExport:
+    def test_csv_round_trip(self, tmp_path):
+        tracer = traced_run()
+        path = tmp_path / "trace.csv"
+        tracer.to_csv(str(path))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(tracer)
+        assert rows[0]["plan_mode"] == "priority"
+        assert float(rows[-1]["time"]) == pytest.approx(5_000.0)

@@ -1,0 +1,147 @@
+"""Unit tests for window assigners and deadline arithmetic."""
+
+import math
+
+import pytest
+
+from repro.spe.windows import (
+    CountWindows,
+    Pane,
+    SlidingEventTimeWindows,
+    TumblingEventTimeWindows,
+)
+
+
+class TestPane:
+    def test_deadline_is_end(self):
+        assert Pane(0.0, 3000.0).deadline == 3000.0
+
+
+class TestTumblingAssignment:
+    def test_event_lands_in_single_pane(self):
+        w = TumblingEventTimeWindows(1000.0)
+        panes = w.assign(1500.0)
+        assert panes == [Pane(1000.0, 2000.0)]
+
+    def test_boundary_event_belongs_to_next_pane(self):
+        w = TumblingEventTimeWindows(1000.0)
+        assert w.assign(1000.0) == [Pane(1000.0, 2000.0)]
+
+    def test_is_tumbling_flag(self):
+        assert TumblingEventTimeWindows(1000.0).is_tumbling
+        assert not SlidingEventTimeWindows(1000.0, 500.0).is_tumbling
+
+    def test_offset_shifts_panes(self):
+        w = TumblingEventTimeWindows(1000.0, offset=300.0)
+        assert w.assign(1500.0) == [Pane(1300.0, 2300.0)]
+
+    def test_offset_wraps_modulo_slide(self):
+        w = TumblingEventTimeWindows(1000.0, offset=1300.0)
+        assert w.offset == 300.0
+
+
+class TestSlidingAssignment:
+    def test_event_belongs_to_size_over_slide_panes(self):
+        w = SlidingEventTimeWindows(1000.0, 250.0)
+        panes = w.assign(1000.0)
+        assert len(panes) == 4
+        for pane in panes:
+            assert pane.start <= 1000.0 < pane.end
+
+    def test_panes_are_aligned_to_slide(self):
+        w = SlidingEventTimeWindows(900.0, 300.0)
+        for pane in w.assign(1000.0):
+            assert pane.start % 300.0 == pytest.approx(0.0)
+
+    def test_rejects_slide_larger_than_size(self):
+        with pytest.raises(ValueError):
+            SlidingEventTimeWindows(500.0, 1000.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            SlidingEventTimeWindows(0.0)
+        with pytest.raises(ValueError):
+            SlidingEventTimeWindows(100.0, 0.0)
+
+
+class TestNextDeadline:
+    def test_tumbling_next_deadline(self):
+        w = TumblingEventTimeWindows(1000.0)
+        assert w.next_deadline(0.0) == 1000.0
+        assert w.next_deadline(999.9) == 1000.0
+        assert w.next_deadline(1000.0) == 2000.0  # strictly greater
+
+    def test_sliding_next_deadline_every_slide(self):
+        w = SlidingEventTimeWindows(1000.0, 250.0)
+        assert w.next_deadline(1000.0) == 1250.0
+        assert w.next_deadline(1100.0) == 1250.0
+
+    def test_offset_next_deadline(self):
+        w = TumblingEventTimeWindows(1000.0, offset=300.0)
+        assert w.next_deadline(0.0) == 300.0
+        assert w.next_deadline(300.0) == 1300.0
+
+    def test_deadline_sequence_is_strictly_increasing(self):
+        w = SlidingEventTimeWindows(1500.0, 500.0, offset=123.0)
+        t = 0.0
+        for _ in range(20):
+            nxt = w.next_deadline(t)
+            assert nxt > t
+            t = nxt
+
+
+class TestAssignRange:
+    def test_tumbling_mass_is_conserved(self):
+        w = TumblingEventTimeWindows(1000.0)
+        assignments = w.assign_range(0.0, 3000.0, 300.0)
+        assert sum(c for _, c in assignments) == pytest.approx(300.0)
+
+    def test_sliding_mass_is_duplicated_per_pane_membership(self):
+        w = SlidingEventTimeWindows(1000.0, 500.0)  # each event in 2 panes
+        assignments = w.assign_range(0.0, 2000.0, 100.0)
+        assert sum(c for _, c in assignments) == pytest.approx(200.0)
+
+    def test_uniform_split_across_panes(self):
+        w = TumblingEventTimeWindows(1000.0)
+        assignments = dict(
+            (pane.start, c) for pane, c in w.assign_range(0.0, 2000.0, 100.0)
+        )
+        assert assignments[0.0] == pytest.approx(50.0)
+        assert assignments[1000.0] == pytest.approx(50.0)
+
+    def test_point_interval_assigns_whole_mass(self):
+        w = TumblingEventTimeWindows(1000.0)
+        assignments = w.assign_range(500.0, 500.0, 42.0)
+        assert len(assignments) == 1
+        pane, count = assignments[0]
+        assert pane == Pane(0.0, 1000.0)
+        assert count == 42.0
+
+    def test_zero_count_returns_nothing(self):
+        w = TumblingEventTimeWindows(1000.0)
+        assert w.assign_range(0.0, 100.0, 0.0) == []
+
+    def test_partial_overlap_proportional(self):
+        w = TumblingEventTimeWindows(1000.0)
+        assignments = dict(
+            (pane.start, c) for pane, c in w.assign_range(750.0, 1250.0, 100.0)
+        )
+        assert assignments[0.0] == pytest.approx(50.0)
+        assert assignments[1000.0] == pytest.approx(50.0)
+
+
+class TestCountWindows:
+    def test_no_time_deadline(self):
+        w = CountWindows(100)
+        assert w.next_deadline(0.0) == math.inf
+
+    def test_time_assignment_rejected(self):
+        w = CountWindows(100)
+        with pytest.raises(TypeError):
+            w.assign(0.0)
+        with pytest.raises(TypeError):
+            w.assign_range(0.0, 1.0, 1.0)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            CountWindows(0)

@@ -1,0 +1,146 @@
+"""Unit tests for the YSB/LRB/NYT workload builders."""
+
+import pytest
+
+from repro.spe.operators import WindowedAggregate, WindowedJoin
+from repro.workloads import (
+    WorkloadParams,
+    build_queries,
+    make_delay_model,
+    workload_names,
+)
+from repro.workloads import lrb, nyt, ysb
+from repro.net.delays import UniformDelay, ZipfDelay
+
+
+class TestRegistry:
+    def test_all_three_benchmarks_registered(self):
+        assert set(workload_names()) == {"lrb", "nyt", "ysb"}
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build_queries("tpch", 1)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_queries("ysb", 0)
+
+
+class TestDelayModelFactory:
+    def test_uniform(self):
+        assert isinstance(make_delay_model("uniform", 0), UniformDelay)
+
+    def test_zipf(self):
+        assert isinstance(make_delay_model("zipf", 0), ZipfDelay)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_delay_model("Zipf", 0), ZipfDelay)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_delay_model("pareto", 0)
+
+
+class TestYsb:
+    def test_pipeline_shape(self):
+        q = ysb.build_query("y0")
+        names = [type(op).__name__ for op in q.operators]
+        assert names == [
+            "FilterOperator",
+            "MapOperator",
+            "WindowedAggregate",
+            "SinkOperator",
+        ]
+
+    def test_tumbling_three_second_window(self):
+        q = ysb.build_query("y0")
+        assigner = q.windowed_operators()[0].assigner
+        assert assigner.size == 3000.0
+        assert assigner.is_tumbling
+
+    def test_native_rate(self):
+        q = ysb.build_query("y0")
+        assert q.bindings[0].spec.rate_eps == 10_000.0
+
+    def test_rate_scale_applies(self):
+        q = ysb.build_query("y0", WorkloadParams(rate_scale=0.5))
+        assert q.bindings[0].spec.rate_eps == 5_000.0
+
+    def test_campaign_cardinality(self):
+        window = ysb.build_query("y0").windowed_operators()[0]
+        assert window.output_events_per_pane == ysb.N_CAMPAIGNS
+
+
+class TestLrb:
+    def test_three_substreams_into_join(self):
+        q = lrb.build_query("l0")
+        assert len(q.bindings) == 3
+        joins = q.join_operators()
+        assert len(joins) == 1
+        assert len(joins[0].inputs) == 3
+
+    def test_sliding_join_window_5s_3s(self):
+        join = lrb.build_query("l0").join_operators()[0]
+        assert join.assigner.size == 5000.0
+        assert join.assigner.slide == 3000.0
+
+    def test_last_deadline_is_one_third(self):
+        q = lrb.build_query("l0")
+        aggs = [
+            op for op in q.windowed_operators()
+            if isinstance(op, WindowedAggregate)
+        ]
+        assert aggs[0].assigner.size == pytest.approx(1000.0)
+
+    def test_substream_rate(self):
+        q = lrb.build_query("l0")
+        # 6.5K events per 2 s per sub-stream
+        assert q.bindings[0].spec.rate_eps == pytest.approx(3250.0)
+
+
+class TestNyt:
+    def test_stateless_chain_then_sliding_window(self):
+        q = nyt.build_query("n0")
+        names = [type(op).__name__ for op in q.operators]
+        assert names[-2:] == ["WindowedAggregate", "SinkOperator"]
+        assert names.count("MapOperator") >= 3
+        assert names.count("FilterOperator") >= 2
+
+    def test_sliding_2s_1s(self):
+        assigner = nyt.build_query("n0").windowed_operators()[0].assigner
+        assert assigner.size == 2000.0
+        assert assigner.slide == 1000.0
+
+    def test_rate_7k(self):
+        assert nyt.build_query("n0").bindings[0].spec.rate_eps == 7000.0
+
+
+class TestBuildQueries:
+    def test_builds_requested_count_with_unique_ids(self):
+        queries = build_queries("ysb", 5, WorkloadParams(seed=0))
+        assert len(queries) == 5
+        assert len({q.query_id for q in queries}) == 5
+
+    def test_deployments_staggered_within_window(self):
+        params = WorkloadParams(seed=0, deploy_window_ms=20_000.0)
+        queries = build_queries("ysb", 20, params)
+        deploys = [q.deployed_at for q in queries]
+        assert all(0.0 <= d <= 20_000.0 for d in deploys)
+        assert len(set(deploys)) > 15  # actually randomized
+
+    def test_seed_controls_layout(self):
+        a = build_queries("ysb", 5, WorkloadParams(seed=1))
+        b = build_queries("ysb", 5, WorkloadParams(seed=1))
+        c = build_queries("ysb", 5, WorkloadParams(seed=2))
+        assert [q.deployed_at for q in a] == [q.deployed_at for q in b]
+        assert [q.deployed_at for q in a] != [q.deployed_at for q in c]
+
+    def test_zipf_delay_selection(self):
+        queries = build_queries("ysb", 2, WorkloadParams(delay="zipf"))
+        assert isinstance(queries[0].bindings[0].spec.delay_model, ZipfDelay)
+
+    def test_lateness_covers_delay_bound(self):
+        for name in workload_names():
+            for q in build_queries(name, 2, WorkloadParams(seed=3)):
+                for b in q.bindings:
+                    assert b.spec.lateness_ms >= b.spec.delay_model.bound
