@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Differential fault injection: Klink vs FCFS under identical faults.
+
+A contended two-node cluster runs 40 YSB queries while a deterministic
+:class:`~repro.faults.FaultPlan` injects a watermark-straggler episode
+(progress lags the data, blocking window firing) and a full node failure
+(node 1 executes nothing for 8 simulated seconds, its sources suspended).
+Both policies face the *exact same* schedule, and an
+:class:`~repro.faults.InvariantMonitor` asserts every conservation and
+monotonicity invariant throughout — faults may degrade latency, never
+correctness.
+
+Usage::
+
+    python examples/fault_injection.py
+"""
+
+from repro import WorkloadParams, build_queries
+from repro.core.baselines import FCFSScheduler
+from repro.distributed import DistributedEngine, PhysicalPlan
+from repro.faults import (
+    FaultPlan,
+    InvariantMonitor,
+    NodeFailure,
+    WatermarkStraggler,
+)
+
+DURATION_MS = 60_000.0
+
+
+def make_faults() -> FaultPlan:
+    return FaultPlan([
+        # Watermarks generated in [10 s, 20 s) arrive 2.5 s late: event
+        # time stalls behind the data and windows cannot fire.
+        WatermarkStraggler(10_000.0, 20_000.0, extra_delay_ms=2_500.0),
+        # Node 1 is down in [30 s, 38 s): half the fleet freezes, then
+        # its buffered traffic floods back in on recovery.
+        NodeFailure(30_000.0, 38_000.0, node=1),
+    ])
+
+
+def run(policy: str):
+    queries = build_queries("ysb", 40, WorkloadParams(seed=1, rate_scale=2.0))
+    plan = PhysicalPlan.locality(queries, 2)
+    monitor = InvariantMonitor()
+    kwargs = dict(faults=make_faults(), invariants=monitor, cores_per_node=8)
+    if policy == "Klink":
+        engine = DistributedEngine.with_klink(queries, plan, **kwargs)
+    else:
+        engine = DistributedEngine.with_policy(
+            queries, plan, FCFSScheduler, **kwargs
+        )
+    metrics = engine.run(DURATION_MS)
+    return metrics, monitor
+
+
+def main() -> None:
+    print("Fault injection on a 2-node YSB cluster (40 queries, 60 sim s)")
+    print(make_faults().describe())
+    print()
+    print(f"{'policy':8s} {'mean lat':>9s} {'p90 lat':>9s} {'p99 lat':>9s} "
+          f"{'events':>12s} {'invariants':>12s}")
+    failures = 0
+    for policy in ("Klink", "FCFS"):
+        metrics, monitor = run(policy)
+        verdict = "OK" if monitor.ok else f"{monitor.total_violations} BAD"
+        failures += 0 if monitor.ok else 1
+        print(
+            f"{policy:8s} "
+            f"{metrics.mean_latency_ms / 1000:8.2f}s "
+            f"{metrics.latency_percentile(90) / 1000:8.2f}s "
+            f"{metrics.latency_percentile(99) / 1000:8.2f}s "
+            f"{metrics.total_events_processed:12,.0f} "
+            f"{verdict:>12s}"
+        )
+        if not monitor.ok:
+            print(monitor.report())
+    print(
+        "\nBoth policies survive the same straggler + node outage with all"
+        "\ninvariants intact; Klink degrades more gracefully because its"
+        "\nslack estimates absorb the watermark disruption (Sec. 5.3)."
+    )
+    raise SystemExit(failures)
+
+
+if __name__ == "__main__":
+    main()

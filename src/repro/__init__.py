@@ -39,6 +39,17 @@ from repro.core import (
     StreamBoxScheduler,
     SwmIngestionEstimator,
 )
+from repro.faults import (
+    FaultPlan,
+    InvariantMonitor,
+    InvariantViolation,
+    MemoryPressureSpike,
+    NodeFailure,
+    OperatorSlowdown,
+    SourceStall,
+    WatermarkDrop,
+    WatermarkStraggler,
+)
 from repro.net import ConstantDelay, DelayModel, ExponentialDelay, UniformDelay, ZipfDelay
 from repro.spe import (
     CountWindowedAggregate,
@@ -101,6 +112,16 @@ __all__ = [
     "LatencyMarker",
     "MemoryConfig",
     "RunMetrics",
+    # fault injection & invariant checking
+    "FaultPlan",
+    "SourceStall",
+    "WatermarkStraggler",
+    "WatermarkDrop",
+    "OperatorSlowdown",
+    "MemoryPressureSpike",
+    "NodeFailure",
+    "InvariantMonitor",
+    "InvariantViolation",
     # delays
     "DelayModel",
     "UniformDelay",

@@ -28,6 +28,7 @@ from repro.core.baselines import (
 )
 from repro.core.klink import KlinkScheduler
 from repro.core.scheduler import Scheduler
+from repro.faults import FaultPlan, InvariantMonitor
 from repro.spe.engine import Engine
 from repro.spe.memory import GIB, MemoryConfig
 from repro.spe.metrics import RunMetrics
@@ -87,6 +88,8 @@ class ExperimentConfig:
     seed: int = 1
     memory_gb: Optional[float] = None  # None -> per-workload default
     confidence: Optional[float] = None  # Klink's f (None -> 95)
+    fault_seed: Optional[int] = None  # None -> no fault injection
+    check_invariants: bool = False  # attach an InvariantMonitor
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -100,6 +103,7 @@ class ExperimentResult:
 
     config: ExperimentConfig
     metrics: RunMetrics
+    monitor: Optional[InvariantMonitor] = None
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -129,6 +133,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if config.confidence is not None and config.scheduler.startswith("Klink"):
         overrides["confidence"] = config.confidence
     scheduler = make_scheduler(config.scheduler, **overrides)
+    faults = None
+    if config.fault_seed is not None:
+        faults = FaultPlan.random(
+            config.fault_seed,
+            config.duration_ms,
+            query_ids=[q.query_id for q in queries],
+        )
+    monitor = InvariantMonitor() if config.check_invariants else None
     engine = Engine(
         queries,
         scheduler,
@@ -136,9 +148,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         cycle_ms=config.cycle_ms,
         memory=MemoryConfig(capacity_bytes=config.resolved_memory_gb() * GIB),
         seed=config.seed,
+        faults=faults,
+        invariants=monitor,
     )
     metrics = engine.run(config.duration_ms)
-    return ExperimentResult(config=config, metrics=metrics)
+    return ExperimentResult(config=config, metrics=metrics, monitor=monitor)
 
 
 _CACHE: Dict[ExperimentConfig, ExperimentResult] = {}

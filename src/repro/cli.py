@@ -61,6 +61,19 @@ def _summary_row(res) -> dict:
     return row
 
 
+def _report_monitors(results: List) -> int:
+    """Print invariant reports for monitored runs; 1 if any violated."""
+    exit_code = 0
+    for res in results:
+        if res.monitor is None:
+            continue
+        label = f"{res.config.scheduler}/n={res.config.n_queries}"
+        print(f"[invariants {label}] {res.monitor.report()}")
+        if not res.monitor.ok:
+            exit_code = 1
+    return exit_code
+
+
 def _print_rows(rows: List[dict]) -> None:
     print(
         f"{'workload':9s} {'scheduler':16s} {'n':>4s} {'mean':>8s} "
@@ -78,6 +91,15 @@ def _print_rows(rows: List[dict]) -> None:
         )
 
 
+def _fault_seed(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"fault seed must be non-negative: {value}"
+        )
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="ysb", choices=workload_names())
     parser.add_argument("--duration", type=float, default=120.0,
@@ -91,6 +113,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rate-scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--csv", default=None, help="write results as CSV")
+    parser.add_argument(
+        "--faults", type=_fault_seed, default=None, metavar="SEED",
+        help="inject a randomized (but reproducible) fault schedule "
+             "generated from SEED: source stalls, watermark stragglers "
+             "and drops, operator slowdowns, memory spikes",
+    )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="attach an InvariantMonitor asserting conservation, "
+             "watermark-monotonicity, window-firing, and CPU-budget "
+             "invariants every cycle; non-zero exit on any violation",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -105,13 +139,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         rate_scale=args.rate_scale,
         seed=args.seed,
         memory_gb=args.memory_gb,
+        fault_seed=args.faults,
+        check_invariants=args.check_invariants,
     )
     res = run_experiment(cfg)
     rows = [_summary_row(res)]
     _print_rows(rows)
     if args.csv:
         _write_csv(args.csv, rows)
-    return 0
+    return _report_monitors([res])
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -124,16 +160,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rate_scale=args.rate_scale,
         seed=args.seed,
         memory_gb=args.memory_gb,
+        fault_seed=args.faults,
+        check_invariants=args.check_invariants,
     )
     rows = []
+    results = []
     for scheduler in args.schedulers:
         for n in args.queries:
             cfg = replace(base, scheduler=scheduler, n_queries=n)
-            rows.append(_summary_row(run_experiment(cfg)))
+            res = run_experiment(cfg)
+            results.append(res)
+            rows.append(_summary_row(res))
     _print_rows(rows)
     if args.csv:
         _write_csv(args.csv, rows)
-    return 0
+    return _report_monitors(results)
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:

@@ -71,6 +71,15 @@ class Plan:
         if self.overhead_ms < 0:
             raise ValueError(f"negative overhead: {self.overhead_ms}")
 
+    def scheduled_query_ids(self) -> List[str]:
+        """Query ids in allocation order.
+
+        Used by diagnostics and by the invariant monitor, which asserts
+        that a priority plan schedules only registered queries and each at
+        most once.
+        """
+        return [alloc.query.query_id for alloc in self.allocations]
+
 
 @dataclass
 class SchedulerContext:

@@ -114,6 +114,8 @@ class DistributedEngine(Engine):
         memory: MemoryConfig | None = None,
         seed: int = 0,
         rpc_latency_ms: float = 2.0,
+        faults=None,
+        invariants=None,
     ) -> None:
         self.plan = plan
         self.board = ForwardingBoard(rpc_latency_ms)
@@ -129,6 +131,8 @@ class DistributedEngine(Engine):
             cycle_ms=cycle_ms,
             memory=memory,
             seed=seed,
+            faults=faults,
+            invariants=invariants,
         )
         # Attach transfer latency to cross-node edges.
         self._delayed_channels: List[Channel] = []
@@ -172,11 +176,13 @@ class DistributedEngine(Engine):
 
     # -- forwarding ---------------------------------------------------------------
 
-    def _publish_info(self, now: float) -> None:
+    def _publish_info(self, now: float, down_nodes=frozenset()) -> None:
         for query in self.queries:
             unit = query.unit_costs()
             source_node = self.plan.source_node(query)
             for node in range(self.plan.n_nodes):
+                if node in down_nodes:
+                    continue  # a failed node publishes nothing; reads go stale
                 local_ops = self.plan.local_operators(query, node)
                 if not local_ops:
                     continue
@@ -215,6 +221,12 @@ class DistributedEngine(Engine):
     def step_cycle(self) -> None:
         self.clock.advance(self.cycle_ms)
         now = self.clock.now
+        self._apply_faults(now)
+        down_nodes = frozenset(
+            node
+            for node in range(self.plan.n_nodes)
+            if self.faults is not None and self.faults.node_down(node, now)
+        )
         for channel in self._delayed_channels:
             channel.release(now)
         backpressured = (
@@ -223,14 +235,23 @@ class DistributedEngine(Engine):
         if backpressured:
             self.metrics.backpressure_cycles += 1
         self._generate_until(now, shed_events=backpressured)
-        self._deliver_ingestions(now, backpressured)
-        self._publish_info(now)
+        # Queries whose source node failed cannot ingest: their traffic
+        # ages in the network buffer until the node recovers.
+        blocked = None
+        if down_nodes:
+            blocked = lambda q: self.plan.source_node(q) in down_nodes
+        self._deliver_ingestions(now, backpressured, blocked=blocked)
+        self._publish_info(now, down_nodes)
         ctx = self._collect()
         throttle = False
         used_total = 0.0
         overhead_total = 0.0
+        plans = []
         for node, scheduler in enumerate(self.node_schedulers):
+            if node in down_nodes:
+                continue  # a failed node runs neither its policy nor its tasks
             plan = scheduler.plan(ctx)
+            plans.append(plan)
             throttle = throttle or plan.throttle_ingestion
             overhead = plan.overhead_ms + scheduler.overhead_ms(ctx)
             overhead_total += overhead
@@ -246,6 +267,10 @@ class DistributedEngine(Engine):
         self._drain_sink_metrics()
         self._sample_utilization(used_total + overhead_total)
         self.metrics.cycles += 1
+        if self.invariants is not None:
+            self.invariants.on_cycle(
+                self, plans=plans, cpu_used_ms=used_total + overhead_total
+            )
 
     def _localize(self, plan: Plan, node: int) -> Plan:
         """Restrict a node's plan to the operators hosted on that node."""

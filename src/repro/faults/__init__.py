@@ -1,0 +1,39 @@
+"""Fault injection and runtime invariant checking.
+
+* :mod:`repro.faults.plan` — seeded, deterministic fault schedules
+  (:class:`FaultPlan`) of timed perturbations the engine consults each
+  scheduling cycle.
+* :mod:`repro.faults.invariants` — the :class:`InvariantMonitor` that
+  continuously asserts conservation, monotonicity, window-firing, and
+  CPU-budget invariants over a running engine.
+"""
+
+from repro.faults.invariants import (
+    InvariantError,
+    InvariantMonitor,
+    InvariantViolation,
+)
+from repro.faults.plan import (
+    Fault,
+    FaultPlan,
+    MemoryPressureSpike,
+    NodeFailure,
+    OperatorSlowdown,
+    SourceStall,
+    WatermarkDrop,
+    WatermarkStraggler,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "SourceStall",
+    "WatermarkStraggler",
+    "WatermarkDrop",
+    "OperatorSlowdown",
+    "MemoryPressureSpike",
+    "NodeFailure",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantError",
+]

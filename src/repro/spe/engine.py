@@ -59,6 +59,8 @@ class Engine:
         memory: MemoryConfig | None = None,
         seed: int = 0,
         tracer=None,
+        faults=None,
+        invariants=None,
     ) -> None:
         if cores < 1:
             raise ValueError(f"need at least one core: {cores}")
@@ -72,6 +74,10 @@ class Engine:
         self.cycle_ms = float(cycle_ms)
         self.memory = MemoryModel(memory)
         self.tracer = tracer
+        #: optional deterministic fault schedule (repro.faults.FaultPlan)
+        self.faults = faults
+        #: optional runtime invariant checker (repro.faults.InvariantMonitor)
+        self.invariants = invariants
         self.clock = VirtualClock()
         self.metrics = RunMetrics()
         self._rng = np.random.default_rng(seed)
@@ -119,6 +125,8 @@ class Engine:
             binding.next_gen_time = start
             binding.next_watermark_time = start + spec.watermark_period_ms
             binding.next_marker_time = start + spec.marker_period_ms
+        faults = self.faults
+        qid = query.query_id
         # Event batches: one per generation interval, rate-modulated by the
         # source's burst state machine (load spikes, Sec. 1).
         while binding.next_gen_time + spec.gen_batch_ms <= horizon:
@@ -129,6 +137,12 @@ class Engine:
                 self.metrics.events_shed += count
             elif count > 0:
                 delay = spec.delay_model.sample()
+                if faults is not None:
+                    # A stalled source holds the batch until the stall ends;
+                    # the extra time counts as experienced network delay, so
+                    # Klink's delay history sees the perturbation.
+                    hold = faults.source_hold_until(qid, g1)
+                    delay = max(delay, hold - g1)
                 batch = EventBatch(
                     count=count,
                     t_start=g0,
@@ -144,14 +158,22 @@ class Engine:
         # a WatermarkGeneratorOperator instead (Sec. 2.2 case ii).
         while spec.emit_watermarks and binding.next_watermark_time <= horizon:
             g = binding.next_watermark_time
+            binding.next_watermark_time += spec.watermark_period_ms
+            if faults is not None and faults.drops_watermark(qid, g):
+                self.metrics.watermarks_dropped_by_faults += 1
+                continue
             wm = Watermark(g - spec.lateness_ms, source_id=binding.source_id)
             delay = spec.delay_model.sample()
+            if faults is not None:
+                delay += faults.watermark_extra_delay(qid, g)
+                delay = max(delay, faults.source_hold_until(qid, g) - g)
             self._push_network(g + delay, query, binding, wm)
-            binding.next_watermark_time += spec.watermark_period_ms
         # Latency markers: 200 ms period per source (Sec. 6.1.2).
         while binding.next_marker_time <= horizon:
             g = binding.next_marker_time
             delay = spec.delay_model.sample()
+            if faults is not None:
+                delay = max(delay, faults.source_hold_until(qid, g) - g)
             self._push_network(g + delay, query, binding, LatencyMarker(created_at=g))
             binding.next_marker_time += spec.marker_period_ms
 
@@ -178,20 +200,27 @@ class Engine:
 
     # -- ingestion ---------------------------------------------------------------
 
-    def _deliver_ingestions(self, now: float, backpressured: bool) -> None:
+    def _deliver_ingestions(
+        self, now: float, backpressured: bool, blocked=None
+    ) -> None:
         """Move network records with ingest time <= now into source queues.
 
         Under backpressure, payload batches already in flight are deferred
         to the next cycle (they age in the network buffer) while control
         records (watermarks, markers) are still delivered — watermarks
         occupy no queue memory and progressing event-time is what lets
-        window operators fire and release state.
+        window operators fire and release state. ``blocked`` (a predicate
+        over queries) defers everything for queries whose ingestion path
+        is unavailable — e.g. their source node failed.
         """
         deferred = []
         stalled: Dict[str, bool] = {}
         while self._network and self._network[0][0] <= now:
             _, _, query, binding, record = heapq.heappop(self._network)
             qid = query.query_id
+            if blocked is not None and blocked(query):
+                deferred.append((query, binding, record))
+                continue
             if qid not in stalled:
                 stalled[qid] = self.memory.query_stalled(query)
             if stalled[qid]:
@@ -206,6 +235,7 @@ class Engine:
             progress = binding.progress
             if isinstance(record, EventBatch):
                 binding.channel.push(record, now)
+                binding.events_ingested += record.count
                 if progress is not None:
                     progress.observe_delay(record.delay, record.count)
                 self.metrics.total_events_ingested += record.count
@@ -215,6 +245,7 @@ class Engine:
                 if progress is not None:
                     progress.observe_watermark(record.timestamp, now)
                 binding.channel.push(record, now)
+                binding.watermarks_ingested += 1
             else:  # LatencyMarker
                 binding.channel.push(record, now)
         for query, binding, record in deferred:
@@ -379,30 +410,64 @@ class Engine:
         self.metrics.late_events_dropped = sum(
             op.stats.late_events_dropped for q in self.queries for op in q.operators
         )
+        if self.invariants is not None:
+            self.invariants.finalize(self)
+            self.metrics.invariant_violations = self.invariants.total_violations
         return self.metrics
+
+    def _apply_faults(self, now: float) -> bool:
+        """Apply the cycle's active fault episodes; True when node is down."""
+        faults = self.faults
+        if faults is None:
+            return False
+        self.memory.external_bytes = faults.extra_memory_bytes(now)
+        if faults.has_slowdowns:
+            for query in self.queries:
+                qid = query.query_id
+                for op in query.operators:
+                    op.cost_multiplier = faults.slowdown_factor(
+                        qid, op.name, now
+                    )
+        if faults.active_at(now):
+            self.metrics.fault_cycles += 1
+        return faults.node_down(0, now)
 
     def step_cycle(self) -> None:
         """Execute one scheduling cycle of ``cycle_ms``."""
         self.clock.advance(self.cycle_ms)
         now = self.clock.now
+        node_down = self._apply_faults(now)
         backpressured = self.memory.backpressured(self.queries) or self._throttle_requested
         if backpressured:
             self.metrics.backpressure_cycles += 1
         self._generate_until(now, shed_events=backpressured)
-        self._deliver_ingestions(now, backpressured)
-        ctx = self._collect()
-        plan = self.scheduler.plan(ctx)
-        self._throttle_requested = plan.throttle_ingestion
-        overhead = plan.overhead_ms + self.scheduler.overhead_ms(ctx)
-        self.metrics.scheduler_overhead_ms += overhead
-        # Memory pressure (heap churn, GC) taxes the cycle's useful CPU.
-        tax = self.memory.pressure_tax(ctx.memory_utilization)
-        budget = max(0.0, (self.cores * self.cycle_ms - overhead) * (1.0 - tax))
-        used = self._execute_plan(plan, budget)
-        self.metrics.busy_cpu_ms += used
+        if node_down:
+            # The (single) node is failed: nothing is ingested or executed
+            # this cycle. Sources keep generating; their output ages in the
+            # network buffer and floods in at recovery.
+            plan = Plan([], mode="priority")
+            ctx = self._collect()
+            overhead = 0.0
+            used = 0.0
+        else:
+            self._deliver_ingestions(now, backpressured)
+            ctx = self._collect()
+            plan = self.scheduler.plan(ctx)
+            self._throttle_requested = plan.throttle_ingestion
+            overhead = plan.overhead_ms + self.scheduler.overhead_ms(ctx)
+            self.metrics.scheduler_overhead_ms += overhead
+            # Memory pressure (heap churn, GC) taxes the cycle's useful CPU.
+            tax = self.memory.pressure_tax(ctx.memory_utilization)
+            budget = max(0.0, (self.cores * self.cycle_ms - overhead) * (1.0 - tax))
+            used = self._execute_plan(plan, budget)
+            self.metrics.busy_cpu_ms += used
         self._drain_sink_metrics()
         self._sample_utilization(used + overhead)
         self.metrics.cycles += 1
+        if self.invariants is not None:
+            self.invariants.on_cycle(
+                self, plans=(plan,), cpu_used_ms=used + overhead
+            )
         if self.tracer is not None:
             self.tracer.on_cycle(
                 time=now,

@@ -80,10 +80,13 @@ class MemoryModel:
 
     def __init__(self, config: MemoryConfig | None = None) -> None:
         self.config = config or MemoryConfig()
+        #: bytes occupied by external tenants (set by fault injection's
+        #: MemoryPressureSpike episodes); charged against the same budget.
+        self.external_bytes: float = 0.0
 
     def used_bytes(self, queries: Sequence) -> float:
         """Current footprint: queued records plus window state."""
-        return sum(q.memory_bytes for q in queries)
+        return sum(q.memory_bytes for q in queries) + self.external_bytes
 
     def utilization(self, queries: Sequence) -> float:
         """Fraction of capacity in use (can exceed 1.0 transiently)."""

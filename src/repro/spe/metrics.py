@@ -67,6 +67,10 @@ class RunMetrics:
     busy_cpu_ms: float = 0.0  # CPU-ms spent processing events (all cores)
     backpressure_cycles: int = 0
     cycles: int = 0
+    # fault-injection / invariant-checking accounting
+    fault_cycles: int = 0  # cycles with >= 1 active fault episode
+    watermarks_dropped_by_faults: int = 0
+    invariant_violations: int = 0
 
     # -- latency ------------------------------------------------------------
 
@@ -137,6 +141,8 @@ class RunMetrics:
             "mean_memory_gb": self.mean_memory_bytes / (1024 ** 3),
             "mean_cpu_pct": 100.0 * self.mean_cpu_fraction,
             "overhead_pct": 100.0 * self.overhead_fraction,
+            "fault_cycles": float(self.fault_cycles),
+            "invariant_violations": float(self.invariant_violations),
         }
 
 

@@ -96,6 +96,10 @@ class Operator:
             raise ValueError(f"operator needs >= 1 input: {n_inputs}")
         self.name = name
         self.cost_per_event_ms = float(cost_per_event_ms)
+        #: transient cost scaling set by fault injection (interference /
+        #: slowdown episodes); 1.0 under normal operation. Inflates the
+        #: *measured* cost, which is what runtime-adaptive policies see.
+        self.cost_multiplier = 1.0
         self.selectivity = float(selectivity)
         self.out_bytes_per_event = int(out_bytes_per_event)
         self.inputs: List[Channel] = [
@@ -178,12 +182,12 @@ class Operator:
             return self._consume_batch(record, channel, enqueued_at, budget_ms, now)
         if isinstance(record, Watermark):
             self.stats.watermarks_seen += 1
-            cost = min(self.cost_per_event_ms, budget_ms)
+            cost = min(self.cost_per_event_ms * self.cost_multiplier, budget_ms)
             self._on_watermark(record, self.inputs.index(channel), now)
             self.stats.busy_ms += cost
             return cost
         if isinstance(record, LatencyMarker):
-            cost = min(self.cost_per_event_ms, budget_ms)
+            cost = min(self.cost_per_event_ms * self.cost_multiplier, budget_ms)
             self._emit(record, now)
             self.stats.busy_ms += cost
             return cost
@@ -197,7 +201,7 @@ class Operator:
         budget_ms: float,
         now: float,
     ) -> float:
-        full_cost = batch.count * self.cost_per_event_ms
+        full_cost = batch.count * self.cost_per_event_ms * self.cost_multiplier
         if full_cost <= budget_ms or self.cost_per_event_ms == 0.0:
             self.stats.events_in += batch.count
             self.stats.busy_ms += full_cost
@@ -407,7 +411,7 @@ class _WindowedOperatorBase(Operator):
             buffered = self._panes.pop(start, 0.0)
             out_count = self._pane_output_count(buffered)
             self.stats.panes_fired += 1
-            fire_cost = out_count * self.fire_cost_per_event_ms
+            fire_cost = out_count * self.fire_cost_per_event_ms * self.cost_multiplier
             self.stats.busy_ms += fire_cost
             if out_count > 0:
                 self._emit(

@@ -230,6 +230,10 @@ class SourceBinding:
         self.source_id = source_id
         self.channel = operator.inputs[input_index]
         self.progress: Optional[StreamProgress] = None  # set by Query
+        # cumulative ingestion counters (engine-maintained); the invariant
+        # monitor balances these against entry-operator consumption.
+        self.events_ingested = 0.0
+        self.watermarks_ingested = 0
         # generation cursors (engine-managed)
         self.next_gen_time = 0.0
         self.next_watermark_time = spec.watermark_period_ms

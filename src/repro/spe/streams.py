@@ -39,6 +39,11 @@ class Channel:
         self._pending: Deque[_Entry] = deque()  # in-flight cross-node records
         self._queued_events: float = 0.0
         self._queued_bytes: float = 0.0
+        # Cumulative flow counters (never reset) — the invariant monitor
+        # asserts pushed + returned - popped == queued after every cycle.
+        self.events_pushed: float = 0.0
+        self.events_returned: float = 0.0
+        self.events_popped: float = 0.0
 
     # -- producer side -----------------------------------------------------
 
@@ -51,6 +56,7 @@ class Channel:
         if isinstance(record, EventBatch):
             self._queued_events += record.count
             self._queued_bytes += record.bytes
+            self.events_pushed += record.count
 
     def release(self, now: float) -> int:
         """Deliver in-flight records whose transfer completed; returns count."""
@@ -61,6 +67,7 @@ class Channel:
             if isinstance(entry.record, EventBatch):
                 self._queued_events += entry.record.count
                 self._queued_bytes += entry.record.bytes
+                self.events_pushed += entry.record.count
             released += 1
         return released
 
@@ -70,6 +77,7 @@ class Channel:
         if isinstance(record, EventBatch):
             self._queued_events += record.count
             self._queued_bytes += record.bytes
+            self.events_returned += record.count
 
     # -- consumer side -----------------------------------------------------
 
@@ -82,6 +90,7 @@ class Channel:
         if isinstance(record, EventBatch):
             self._queued_events -= record.count
             self._queued_bytes -= record.bytes
+            self.events_popped += record.count
             # Guard against float drift accumulating into negatives.
             if self._queued_events < 1e-9:
                 self._queued_events = 0.0
@@ -132,6 +141,11 @@ class Channel:
 
     def clear(self) -> None:
         """Drop all queued records (used by tests and teardown)."""
+        # Dropped records count as consumed so the cumulative flow
+        # counters stay consistent with the (now empty) queue.
+        for entry in self._entries:
+            if isinstance(entry.record, EventBatch):
+                self.events_popped += entry.record.count
         self._entries.clear()
         self._queued_events = 0.0
         self._queued_bytes = 0.0

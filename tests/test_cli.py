@@ -40,6 +40,40 @@ class TestRunCommand:
         assert "Default" in out
         assert "ysb" in out
 
+    def test_faults_and_invariants_flags(self, capsys):
+        rc = main([
+            "run", "--workload", "ysb", "--scheduler", "Default",
+            "--queries", "2", "--duration", "20", "--cores", "4",
+            "--faults", "5", "--check-invariants",
+        ])
+        assert rc == 0  # zero violations -> success exit
+        out = capsys.readouterr().out
+        assert "invariants OK" in out
+
+    def test_faults_flag_defaults_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.faults is None
+        assert args.check_invariants is False
+
+    def test_negative_fault_seed_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--faults", "-1"])
+
+    def test_violations_produce_failure_exit(self, capsys):
+        from types import SimpleNamespace
+
+        from repro.cli import _report_monitors
+        from repro.faults import InvariantMonitor
+
+        monitor = InvariantMonitor()
+        monitor._record(0.0, "cpu-budget", "engine", "synthetic")
+        res = SimpleNamespace(
+            monitor=monitor,
+            config=SimpleNamespace(scheduler="Klink", n_queries=2),
+        )
+        assert _report_monitors([res]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
     def test_csv_export(self, tmp_path, capsys):
         path = str(tmp_path / "out.csv")
         main([

@@ -3,7 +3,10 @@
 * window assignment conserves event mass (scaled by pane membership);
 * watermark deadline arithmetic is consistent with assignment;
 * channels conserve queued counts/bytes under arbitrary push/pop traces;
-* expected slack is monotone in cost and in time;
+* mid-pipeline watermark generation is monotone under arbitrary
+  batch/watermark interleavings;
+* expected slack is monotone in cost and in time, and non-negative when
+  the queue is empty and the SWM interval lies entirely ahead;
 * the Gaussian interval probabilities form a distribution;
 * the burst state machine's quiet factor keeps the mean rate;
 * the memory pressure tax is monotone and bounded.
@@ -109,6 +112,74 @@ class TestChannelProperties:
         assert ch.queued_events == pytest.approx(expected_events, abs=1e-6)
 
 
+class TestWatermarkGeneratorProperties:
+    """ISSUE satellite: generated watermarks never regress, whatever the
+    interleaving of data batches and (absorbed) upstream watermarks."""
+
+    @st.composite
+    @staticmethod
+    def traces(draw):
+        n = draw(st.integers(min_value=1, max_value=40))
+        records = []
+        for _ in range(n):
+            if draw(st.booleans()):
+                t0 = draw(st.floats(min_value=0.0, max_value=1e5))
+                span = draw(st.floats(min_value=0.0, max_value=1e4))
+                records.append(EventBatch(count=10.0, t_start=t0, t_end=t0 + span))
+            else:
+                ts = draw(st.floats(min_value=0.0, max_value=1e5))
+                records.append(Watermark(ts))
+        return records
+
+    @staticmethod
+    def _drive(strategy, records):
+        from repro.spe.operators import SinkOperator
+        from repro.spe.watermarks import WatermarkGeneratorOperator
+
+        gen = WatermarkGeneratorOperator("wmgen", strategy)
+        sink = SinkOperator("sink")
+        gen.connect(sink)
+        now = 0.0
+        for record in records:
+            gen.inputs[0].push(record, now)
+            gen.step(1e9, now)
+            now += 100.0
+        emitted = [
+            e.record.timestamp
+            for e in sink.inputs[0]
+            if isinstance(e.record, Watermark)
+        ]
+        return gen, emitted
+
+    @given(traces())
+    @settings(max_examples=200)
+    def test_punctuated_generator_monotone(self, records):
+        from repro.spe.watermarks import PunctuatedWatermarks
+
+        gen, emitted = self._drive(PunctuatedWatermarks(bound_ms=50.0), records)
+        assert emitted == sorted(emitted)
+        assert len(emitted) == len(set(emitted))  # strictly increasing
+        assert gen.watermarks_emitted == len(emitted)
+        if emitted:
+            assert gen.last_emitted == emitted[-1]
+
+    @given(traces(), st.floats(min_value=0.0, max_value=2000.0),
+           st.floats(min_value=50.0, max_value=500.0))
+    @settings(max_examples=100)
+    def test_bounded_generator_monotone(self, records, bound, period):
+        from repro.spe.watermarks import BoundedOutOfOrderness
+
+        gen, emitted = self._drive(
+            BoundedOutOfOrderness(bound_ms=bound, period_ms=period), records
+        )
+        assert emitted == sorted(emitted)
+        assert len(emitted) == len(set(emitted))
+        # Every candidate either was emitted or counted as a suppressed
+        # regression — none silently vanish.
+        assert gen.watermarks_emitted == len(emitted)
+        assert gen.regressions_suppressed >= 0
+
+
 class TestSlackProperties:
     @st.composite
     @staticmethod
@@ -136,6 +207,19 @@ class TestSlackProperties:
         early = expected_slack(est, now=0.0, cost_ms=0.0, cycle_ms=50.0)
         mid = expected_slack(est, now=est.mean / 2, cost_ms=0.0, cycle_ms=50.0)
         assert mid <= early + 50.0  # one cycle of discretization slop
+
+    @given(estimates(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200)
+    def test_slack_non_negative_with_empty_queue_ahead_of_interval(
+        self, est, frac
+    ):
+        # ISSUE satellite: with nothing queued (cost = 0) and the whole
+        # confidence interval still ahead (now <= t_min), the expected
+        # slack is a mean of non-negative arrival margins — never negative.
+        now = frac * max(est.t_min, 0.0)
+        assume(now <= est.t_min)
+        slack = expected_slack(est, now=now, cost_ms=0.0, cycle_ms=50.0)
+        assert slack >= -1e-9
 
     @given(estimates(), st.floats(min_value=0.0, max_value=2e5))
     @settings(max_examples=200)

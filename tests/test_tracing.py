@@ -70,6 +70,47 @@ class TestThrottledSpans:
             assert start <= end
 
 
+class TestEviction:
+    """Regression (ISSUE satellite 3): rows past max_rows must evict
+    oldest-first, and to_csv must round-trip exactly the retained rows."""
+
+    def test_eviction_is_oldest_first(self):
+        tracer = CycleTracer(max_rows=7)
+        traced_run(duration=5_000.0, tracer=tracer)  # 50 cycles offered
+        assert len(tracer) == 7
+        times = [row.time for row in tracer.rows]
+        # Exactly the newest 7 cycles, still in chronological order.
+        assert times == [4_400.0 + 100.0 * i for i in range(7)]
+        assert times == sorted(times)
+
+    def test_single_row_buffer_keeps_newest(self):
+        tracer = CycleTracer(max_rows=1)
+        traced_run(duration=3_000.0, tracer=tracer)
+        assert len(tracer) == 1
+        assert tracer.last().time == pytest.approx(3_000.0)
+
+    def test_csv_round_trips_retained_rows(self, tmp_path):
+        tracer = CycleTracer(max_rows=5)
+        traced_run(duration=5_000.0, tracer=tracer)
+        path = tmp_path / "trace.csv"
+        tracer.to_csv(str(path))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 5
+        for csv_row, kept in zip(rows, tracer.rows):
+            assert float(csv_row["time"]) == pytest.approx(kept.time)
+            assert float(csv_row["memory_utilization"]) == pytest.approx(
+                kept.memory_utilization, abs=1e-6
+            )
+            assert float(csv_row["cpu_used_ms"]) == pytest.approx(
+                kept.cpu_used_ms, abs=1e-3
+            )
+            assert csv_row["plan_mode"] == kept.plan_mode
+            assert bool(int(csv_row["backpressured"])) == kept.backpressured
+            assert bool(int(csv_row["throttled"])) == kept.throttled
+            assert csv_row["head_queries"].split("|") == kept.head_queries
+
+
 class TestCsvExport:
     def test_csv_round_trip(self, tmp_path):
         tracer = traced_run()
