@@ -1,0 +1,22 @@
+# Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint mypy check-plan check
+
+test:
+	$(PY) -m pytest -x -q
+
+lint:
+	$(PY) -m repro.analysis.lint src/repro --ci
+
+mypy:
+	mypy src/repro/analysis
+
+check-plan:
+	@for wl in ysb lrb nyt; do \
+		$(PY) -m repro.cli check-plan --workload $$wl --queries 4 || exit 1; \
+	done
+
+check: lint check-plan test

@@ -71,6 +71,7 @@ def build_fraud_query(query_id: str, seed: int = 0, deployed_at: float = 0.0) ->
         TumblingEventTimeWindows(2_000.0, offset=deployed_at),
         cost_per_event_ms=0.015,
         output_events_per_pane=50.0,  # alerting merchants per window
+        key_by="merchant_id",
     )
     alerts = SinkOperator(f"{query_id}.alerts")
 

@@ -20,6 +20,7 @@ from repro import (
     WorkloadParams,
     build_queries,
 )
+from repro.analysis import validate_queries
 from repro.spe.memory import GIB
 
 
@@ -38,6 +39,14 @@ def run_once(scheduler, n_queries: int, duration_s: float):
 def main() -> None:
     n_queries = int(sys.argv[1]) if len(sys.argv) > 1 else 60
     duration_s = float(sys.argv[2]) if len(sys.argv) > 2 else 60.0
+
+    # Engine(...) validates plans anyway (raising PlanValidationError on a
+    # broken one); running the check explicitly also surfaces warnings and
+    # advice, e.g. fusible operator runs (KP122).
+    report = validate_queries(build_queries("ysb", n_queries, WorkloadParams(seed=1)))
+    print(f"plan check: {n_queries} queries ok, "
+          f"{len(report.warnings)} warning(s), "
+          f"{len(report.by_severity('advice'))} advice")
 
     print(f"YSB, {n_queries} queries, {duration_s:.0f} simulated seconds\n")
     print(f"{'scheduler':16s} {'mean lat':>9s} {'p99 lat':>9s} "

@@ -1,0 +1,54 @@
+"""Static analysis for the Klink reproduction: determinism lint + plan checks.
+
+Two passes share the :mod:`repro.analysis.report` diagnostic infrastructure:
+
+* :mod:`repro.analysis.lint` — an AST linter flagging constructs that
+  break byte-for-byte simulation determinism (rule codes ``KL001``...).
+  Run it as ``repro-lint``, ``python -m repro.analysis.lint``, or
+  ``repro-bench lint``.
+* :mod:`repro.analysis.plan_check` — a static validator for query plans
+  (rule codes ``KP101``...), invoked automatically at ``Engine`` /
+  ``DistributedEngine`` submission (disable with ``validate=False``) and
+  exposed as ``repro-bench check-plan``.
+
+Submodules are loaded lazily (PEP 562) so that ``python -m
+repro.analysis.lint`` does not import the module twice (runpy warns when
+the package eagerly imports the submodule being executed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+#: public name -> (submodule, attribute)
+_EXPORTS: Dict[str, Tuple[str, str]] = {
+    "Diagnostic": ("repro.analysis.report", "Diagnostic"),
+    "Report": ("repro.analysis.report", "Report"),
+    "RULES": ("repro.analysis.lint", "RULES"),
+    "lint_file": ("repro.analysis.lint", "lint_file"),
+    "lint_paths": ("repro.analysis.lint", "lint_paths"),
+    "lint_source": ("repro.analysis.lint", "lint_source"),
+    "PLAN_RULES": ("repro.analysis.plan_check", "PLAN_RULES"),
+    "PlanValidationError": ("repro.analysis.plan_check", "PlanValidationError"),
+    "check_query": ("repro.analysis.plan_check", "check_query"),
+    "check_structure": ("repro.analysis.plan_check", "check_structure"),
+    "validate_queries": ("repro.analysis.plan_check", "validate_queries"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_EXPORTS))

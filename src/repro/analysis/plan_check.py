@@ -1,0 +1,502 @@
+"""Static validation of query plans before execution.
+
+Misconfigured query plans — cycles, dangling channels, keyed windows
+without a key selector, watermark sources that can never unblock a
+window — surface at runtime as confusing failures deep into a
+simulation (or worse, as silently-wrong results: an event-time window
+fed by a watermark-less source simply never fires). This module checks
+a query's operator graph *before* ``Engine.run``, in the spirit of
+dataflow well-formedness checking (Flo, Laddad et al. 2024) and
+pre-deployment validation as a resiliency pillar (StreamShield 2026).
+
+Diagnostics carry stable ``KP...`` codes (see :data:`PLAN_RULES`).
+``error`` severities abort submission: :class:`PlanValidationError`
+(a ``ValueError`` subclass) is raised by ``Query`` construction for
+structural errors and by ``Engine``/``DistributedEngine`` for the full
+check, unless constructed with ``validate=False``.
+
+Entry points:
+
+* :func:`check_structure` — graph-shape checks over an operator list
+  (usable before a ``Query`` exists).
+* :func:`check_query` — the full pass over a constructed ``Query``.
+* :func:`validate_queries` — check many queries, raise on any error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import Report
+from repro.spe.chaining import FusedOperator, fusible_runs, is_stateless
+from repro.spe.operators import (
+    KeyByOperator,
+    Operator,
+    SinkOperator,
+    WindowedAggregate,
+    _WindowedOperatorBase,
+)
+from repro.spe.windows import CountWindows, SlidingEventTimeWindows
+
+#: rule code -> one-line summary (rendered by the docs and ``--rules``)
+PLAN_RULES: Dict[str, str] = {
+    "KP101": "cycle in the operator graph",
+    "KP102": "operator output feeds a channel outside the plan (dangling)",
+    "KP103": "operator not wired (directly or transitively) to the sink",
+    "KP104": "input channel is never fed by a source binding or upstream operator",
+    "KP105": "sink misplacement (missing, not last, or has an output)",
+    "KP106": "operator list is not in topological order",
+    "KP110": "keyed window without a key selector upstream",
+    "KP111": "event-time window unreachable by watermarks",
+    "KP112": "count-window assigner on an event-time window operator",
+    "KP113": "negative watermark lateness (watermarks would outrun generation)",
+    "KP114": "watermark lateness below the network delay bound (late drops)",
+    "KP115": "watermark period exceeds the window size (bursty firing)",
+    "KP116": "fused chain contains a stateful or multi-input member",
+    "KP117": "duplicate operator name",
+    "KP118": "two watermark authorities (source and mid-pipeline generator)",
+    "KP120": "per-event cost outside sane bounds",
+    "KP121": "selectivity outside sane bounds",
+    "KP122": "fusible stateless run left unfused (advice)",
+}
+
+#: sanity bounds for declared operator parameters (KP120/KP121)
+MAX_SANE_COST_MS = 100.0
+MAX_SANE_SELECTIVITY = 100.0
+
+
+class PlanValidationError(ValueError):
+    """Raised when a plan fails validation; carries the full report.
+
+    Subclasses ``ValueError`` so existing callers catching construction
+    errors keep working.
+    """
+
+    def __init__(self, report: Report) -> None:
+        self.report = report
+        errors = report.errors
+        summary = "; ".join(d.render() for d in errors[:5])
+        if len(errors) > 5:
+            summary += f"; ... ({len(errors) - 5} more)"
+        super().__init__(f"invalid query plan: {summary}")
+
+
+# -- graph helpers -----------------------------------------------------------
+
+
+def build_downstream_map(
+    operators: Sequence[Operator],
+) -> Tuple[Dict[Operator, Optional[Operator]], List[Operator]]:
+    """Map each operator to the operator consuming its output.
+
+    Returns ``(downstream, dangling)`` where ``dangling`` lists operators
+    whose output channel is owned by no operator in the plan.
+    """
+    channel_owner: Dict[int, Operator] = {}
+    for op in operators:
+        for ch in op.inputs:
+            channel_owner[id(ch)] = op
+    downstream: Dict[Operator, Optional[Operator]] = {}
+    dangling: List[Operator] = []
+    for op in operators:
+        if op.output is None:
+            downstream[op] = None
+        else:
+            owner = channel_owner.get(id(op.output))
+            downstream[op] = owner
+            if owner is None:
+                dangling.append(op)
+    return downstream, dangling
+
+
+def _upstream_map(
+    operators: Sequence[Operator],
+    downstream: Dict[Operator, Optional[Operator]],
+) -> Dict[Operator, List[Operator]]:
+    upstream: Dict[Operator, List[Operator]] = {op: [] for op in operators}
+    for op in operators:
+        down = downstream.get(op)
+        if down is not None and down in upstream:
+            upstream[down].append(op)
+    return upstream
+
+
+def _ancestors(
+    op: Operator, upstream: Dict[Operator, List[Operator]]
+) -> List[Operator]:
+    """All transitive upstream operators of ``op`` (cycle-safe)."""
+    seen: List[Operator] = []
+    frontier = list(upstream.get(op, ()))
+    while frontier:
+        current = frontier.pop()
+        if any(current is s for s in seen):
+            continue
+        seen.append(current)
+        frontier.extend(upstream.get(current, ()))
+    return seen
+
+
+# -- structural checks -------------------------------------------------------
+
+
+def check_structure(
+    operators: Sequence[Operator], sink: Optional[SinkOperator] = None
+) -> Report:
+    """Graph-shape checks: DAG-ness, wiring, sink placement, topo order."""
+    report = Report()
+    operators = list(operators)
+    if not operators:
+        report.add("KP105", "plan has no operators", where="<plan>")
+        return report
+    if sink is None and isinstance(operators[-1], SinkOperator):
+        sink = operators[-1]
+    if sink is None or not any(op is sink for op in operators):
+        report.add("KP105", "sink must appear in the operator list", where="<plan>")
+        return report
+    if operators[-1] is not sink:
+        report.add(
+            "KP105",
+            "operators must be topologically ordered with the sink last",
+            where=sink.name,
+        )
+    if sink.output is not None:
+        report.add("KP105", "sink must not have an output", where=sink.name)
+
+    downstream, dangling = build_downstream_map(operators)
+    for op in dangling:
+        report.add(
+            "KP102",
+            f"operator {op.name!r} outputs to a channel outside the query",
+            where=op.name,
+        )
+
+    # Cycle detection: follow the (unique) downstream pointer from every
+    # operator; revisiting a node on the same walk is a cycle.
+    position = {id(op): i for i, op in enumerate(operators)}
+    cyclic: List[str] = []
+    for op in operators:
+        slow: Optional[Operator] = op
+        trail: List[int] = []
+        while slow is not None:
+            if id(slow) in trail:
+                if op.name not in cyclic:
+                    cyclic.append(op.name)
+                break
+            trail.append(id(slow))
+            slow = downstream.get(slow)
+    if cyclic:
+        report.add(
+            "KP101",
+            f"operator graph contains a cycle through: {', '.join(cyclic)}",
+            where=cyclic[0],
+        )
+
+    # Every non-sink operator must reach the sink (finite walk thanks to
+    # the cycle check above: walks are cut at the first revisit).
+    for op in operators:
+        if op is sink or op.name in cyclic or op in dangling:
+            continue
+        current: Optional[Operator] = op
+        visited: List[int] = []
+        while current is not None and id(current) not in visited:
+            visited.append(id(current))
+            if current is sink:
+                break
+            current = downstream.get(current)
+        else:
+            report.add(
+                "KP103",
+                f"operator {op.name!r} is not wired to the sink",
+                where=op.name,
+            )
+
+    # Topological order of the list (schedulers and cost propagation
+    # assume upstream-before-downstream).
+    for op in operators:
+        down = downstream.get(op)
+        if down is not None and position[id(down)] <= position[id(op)]:
+            report.add(
+                "KP106",
+                f"operators out of topological order: {op.name} -> {down.name}",
+                where=op.name,
+            )
+
+    names_seen: Dict[str, int] = {}
+    for op in operators:
+        names_seen[op.name] = names_seen.get(op.name, 0) + 1
+    for name, count in sorted(names_seen.items()):
+        if count > 1:
+            report.add(
+                "KP117",
+                f"operator name {name!r} used {count} times; diagnostics "
+                "and fault targeting match operators by name",
+                severity="warning",
+                where=name,
+            )
+    return report
+
+
+# -- semantic checks ---------------------------------------------------------
+
+
+def _path_downstream(
+    entry: Operator, downstream: Dict[Operator, Optional[Operator]]
+) -> List[Operator]:
+    """Operators on the walk from ``entry`` to the plan's end (cycle-safe)."""
+    path: List[Operator] = []
+    current: Optional[Operator] = entry
+    while current is not None and not any(current is p for p in path):
+        path.append(current)
+        current = downstream.get(current)
+    return path
+
+
+def _is_watermark_generator(op: Operator) -> bool:
+    # Matched by name to keep this module import-light (chaining.py uses
+    # the same trick for ReorderBuffer).
+    return type(op).__name__ == "WatermarkGeneratorOperator"
+
+
+def check_sources(
+    bindings: Sequence[object],
+    operators: Sequence[Operator],
+    downstream: Dict[Operator, Optional[Operator]],
+) -> Report:
+    """Per-source checks: watermark reachability and lateness sanity."""
+    report = Report()
+    bound_channels = {id(b.channel) for b in bindings}  # type: ignore[attr-defined]
+
+    for binding in bindings:
+        spec = binding.spec  # type: ignore[attr-defined]
+        entry = binding.operator  # type: ignore[attr-defined]
+        where = f"source {spec.name!r}"
+        path = _path_downstream(entry, downstream)
+        windowed = [op for op in path if isinstance(op, _WindowedOperatorBase)]
+        generators = [op for op in path if _is_watermark_generator(op)]
+
+        if spec.lateness_ms < 0:
+            report.add(
+                "KP113",
+                f"negative lateness {spec.lateness_ms} ms: watermarks would "
+                "carry timestamps ahead of generation, declaring in-flight "
+                "events late",
+                where=where,
+            )
+        else:
+            bound = getattr(spec.delay_model, "bound", None)
+            if (
+                bound is not None
+                and math.isfinite(bound)
+                and spec.lateness_ms < bound
+            ):
+                report.add(
+                    "KP114",
+                    f"lateness {spec.lateness_ms:g} ms is below the delay "
+                    f"model bound {bound:g} ms: events delayed past the "
+                    "allowance will be dropped as late",
+                    severity="warning",
+                    where=where,
+                )
+
+        if windowed:
+            first_window = windowed[0]
+            gen_upstream = [
+                op
+                for op in generators
+                if path.index(op) < path.index(first_window)
+            ]
+            if not spec.emit_watermarks and not gen_upstream:
+                report.add(
+                    "KP111",
+                    f"source emits no watermarks and no watermark generator "
+                    f"precedes window {first_window.name!r}: its panes can "
+                    "never fire",
+                    where=where,
+                )
+            if spec.emit_watermarks and gen_upstream:
+                report.add(
+                    "KP118",
+                    f"both the source and {gen_upstream[0].name!r} generate "
+                    "watermarks; configure emit_watermarks=False so exactly "
+                    "one authority drives event time",
+                    severity="warning",
+                    where=where,
+                )
+            assigner = getattr(first_window, "assigner", None)
+            if (
+                isinstance(assigner, SlidingEventTimeWindows)
+                and spec.emit_watermarks
+                and spec.watermark_period_ms > assigner.size
+            ):
+                report.add(
+                    "KP115",
+                    f"watermark period {spec.watermark_period_ms:g} ms "
+                    f"exceeds the window size {assigner.size:g} ms: each "
+                    "watermark sweeps multiple panes at once and output "
+                    "latency is dominated by the watermark period",
+                    severity="warning",
+                    where=where,
+                )
+
+    # Inputs never fed by a binding or an upstream output run dry forever.
+    fed_channels = set(bound_channels)
+    for op in operators:
+        if op.output is not None:
+            fed_channels.add(id(op.output))
+    for op in operators:
+        for i, ch in enumerate(op.inputs):
+            if id(ch) not in fed_channels:
+                report.add(
+                    "KP104",
+                    f"input {i} of operator {op.name!r} is never fed by a "
+                    "source binding or an upstream operator",
+                    severity="warning",
+                    where=op.name,
+                )
+    return report
+
+
+def check_windows(
+    operators: Sequence[Operator],
+    downstream: Dict[Operator, Optional[Operator]],
+) -> Report:
+    """Window-operator checks: assigner kinds and key selectors."""
+    report = Report()
+    upstream = _upstream_map(operators, downstream)
+    for op in operators:
+        if not isinstance(op, _WindowedOperatorBase):
+            continue
+        if isinstance(op.assigner, CountWindows):
+            report.add(
+                "KP112",
+                f"window operator {op.name!r} uses a CountWindows assigner, "
+                "which cannot assign by event-time range; use "
+                "CountWindowedAggregate for count-based windows",
+                where=op.name,
+            )
+        if isinstance(op, WindowedAggregate) and op.output_events_per_pane > 1.0:
+            keyed_upstream = any(
+                isinstance(a, KeyByOperator) for a in _ancestors(op, upstream)
+            )
+            if op.key_by is None and not keyed_upstream:
+                report.add(
+                    "KP110",
+                    f"window {op.name!r} emits "
+                    f"{op.output_events_per_pane:g} records per pane "
+                    "(per-key outputs) but declares no key selector: pass "
+                    "key_by=... or place a KeyByOperator upstream",
+                    where=op.name,
+                )
+    return report
+
+
+def check_costs(operators: Sequence[Operator]) -> Report:
+    """Declared cost/selectivity sanity bounds (warnings only)."""
+    report = Report()
+    for op in operators:
+        if op.cost_per_event_ms > MAX_SANE_COST_MS:
+            report.add(
+                "KP120",
+                f"cost {op.cost_per_event_ms:g} ms/event on {op.name!r} "
+                f"exceeds {MAX_SANE_COST_MS:g} ms: a single batch would "
+                "starve the scheduling cycle",
+                severity="warning",
+                where=op.name,
+            )
+        if op.selectivity > MAX_SANE_SELECTIVITY:
+            report.add(
+                "KP121",
+                f"selectivity {op.selectivity:g} on {op.name!r} exceeds "
+                f"{MAX_SANE_SELECTIVITY:g}: queue growth is explosive",
+                severity="warning",
+                where=op.name,
+            )
+    return report
+
+
+def check_chaining(operators: Sequence[Operator]) -> Report:
+    """Chaining legality and fusion opportunities."""
+    report = Report()
+    for op in operators:
+        if isinstance(op, FusedOperator):
+            for member in op.members:
+                if not is_stateless(member):
+                    report.add(
+                        "KP116",
+                        f"fused chain {op.name!r} contains stateful member "
+                        f"{member.name!r}; stateful operators cannot be fused",
+                        where=op.name,
+                    )
+                elif len(member.inputs) != 1:
+                    report.add(
+                        "KP116",
+                        f"fused chain {op.name!r} contains multi-input "
+                        f"member {member.name!r}",
+                        where=op.name,
+                    )
+    for run in fusible_runs(operators):
+        names = ", ".join(op.name for op in run)
+        report.add(
+            "KP122",
+            f"stateless run [{names}] is fusible: fuse_stateless(...) would "
+            "cut per-record queue handling",
+            severity="advice",
+            where=run[0].name,
+        )
+    return report
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def check_query(query: object) -> Report:
+    """Full static validation of one constructed ``Query``.
+
+    Accepts any object exposing ``operators``, ``sink``, and ``bindings``
+    (duck-typed to keep this module free of a ``repro.spe.query`` import).
+    """
+    operators: Sequence[Operator] = query.operators  # type: ignore[attr-defined]
+    sink: SinkOperator = query.sink  # type: ignore[attr-defined]
+    bindings: Sequence[object] = query.bindings  # type: ignore[attr-defined]
+    report = check_structure(operators, sink)
+    downstream, _ = build_downstream_map(operators)
+    report.extend(check_sources(bindings, operators, downstream))
+    report.extend(check_windows(operators, downstream))
+    report.extend(check_costs(operators))
+    report.extend(check_chaining(operators))
+    return report
+
+
+def validate_queries(
+    queries: Iterable[object], raise_on_error: bool = True
+) -> Report:
+    """Validate a set of queries (as at engine submission).
+
+    Also checks cross-query constraints (duplicate query ids). Raises
+    :class:`PlanValidationError` when any error-severity diagnostic is
+    found and ``raise_on_error`` is set.
+    """
+    report = Report()
+    ids_seen: Dict[str, int] = {}
+    for query in queries:
+        qid = getattr(query, "query_id", "<query>")
+        ids_seen[qid] = ids_seen.get(qid, 0) + 1
+        for diag in check_query(query):
+            where = f"{qid}: {diag.where}" if diag.where else qid
+            report.add(
+                diag.code,
+                diag.message,
+                severity=diag.severity,
+                where=where,
+            )
+    for qid, count in sorted(ids_seen.items()):
+        if count > 1:
+            report.add(
+                "KP117",
+                f"duplicate query id {qid!r} ({count} queries)",
+                where=qid,
+            )
+    if raise_on_error and not report.ok:
+        raise PlanValidationError(report)
+    return report

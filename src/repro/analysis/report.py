@@ -1,0 +1,156 @@
+"""Shared diagnostic and reporting infrastructure for analysis passes.
+
+Both analysis passes — the determinism linter (:mod:`repro.analysis.lint`)
+and the query-plan validator (:mod:`repro.analysis.plan_check`) — emit
+:class:`Diagnostic` records collected into a :class:`Report`. A diagnostic
+carries a stable rule code (``KL...`` for lint rules, ``KP...`` for plan
+rules), a severity, and either a source location (file/line/col, lint) or
+a plan location (``where``: the operator or source it concerns).
+
+Severities:
+
+* ``error`` — the construct is forbidden / the plan cannot run correctly.
+  Errors make ``Report.ok`` false and fail CI / engine submission.
+* ``warning`` — suspicious but runnable; reported, never blocking.
+* ``advice`` — an optimization opportunity (e.g. a fusible operator run).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+SEVERITIES = ("error", "warning", "advice")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of an analysis pass."""
+
+    code: str
+    message: str
+    severity: str = "error"
+    file: Optional[str] = None
+    line: Optional[int] = None
+    col: Optional[int] = None
+    #: plan-space location (operator / source / query name) when the
+    #: finding has no file position.
+    where: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: CODE message``)."""
+        if self.file is not None:
+            line = self.line if self.line is not None else 0
+            col = self.col if self.col is not None else 0
+            prefix = f"{self.file}:{line}:{col}"
+        elif self.where is not None:
+            prefix = self.where
+        else:
+            prefix = "<plan>"
+        return f"{prefix}: {self.code} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> Dict[str, Union[str, int, None]]:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+class Report:
+    """An ordered collection of diagnostics with rendering helpers."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # -- collection --------------------------------------------------------
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: str = "error",
+        file: Optional[str] = None,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+        where: Optional[str] = None,
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code=code,
+            message=message,
+            severity=severity,
+            file=file,
+            line=line,
+            col=col,
+            where=where,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: Union["Report", Iterable[Diagnostic]]) -> "Report":
+        if isinstance(other, Report):
+            self.diagnostics.extend(other.diagnostics)
+        else:
+            self.diagnostics.extend(other)
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def by_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity("warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings/advice allowed)."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_text(self) -> str:
+        if not self.diagnostics:
+            return "no findings"
+        lines = [d.render() for d in self.diagnostics]
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_adv = len(self.by_severity("advice"))
+        lines.append(
+            f"{len(self.diagnostics)} finding(s): "
+            f"{n_err} error(s), {n_warn} warning(s), {n_adv} advice"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "counts": {
+                    sev: len(self.by_severity(sev)) for sev in SEVERITIES
+                },
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=2,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Report(errors={len(self.errors)}, total={len(self.diagnostics)})"

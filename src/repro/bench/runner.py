@@ -90,6 +90,7 @@ class ExperimentConfig:
     confidence: Optional[float] = None  # Klink's f (None -> 95)
     fault_seed: Optional[int] = None  # None -> no fault injection
     check_invariants: bool = False  # attach an InvariantMonitor
+    validate: bool = True  # static plan validation at submission
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -150,6 +151,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         seed=config.seed,
         faults=faults,
         invariants=monitor,
+        validate=config.validate,
     )
     metrics = engine.run(config.duration_ms)
     return ExperimentResult(config=config, metrics=metrics, monitor=monitor)

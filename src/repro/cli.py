@@ -5,6 +5,8 @@ Usage (installed as ``repro-bench``, or ``python -m repro.cli``)::
     repro-bench run --workload ysb --scheduler Klink --queries 60
     repro-bench sweep --workload lrb --queries 20 40 60 --schedulers Default Klink
     repro-bench estimate --delay zipf --confidence 95
+    repro-bench check-plan --workload ysb --queries 4
+    repro-bench lint src/repro
     repro-bench list
 
 Every command prints a human-readable table; ``--csv PATH`` additionally
@@ -28,7 +30,12 @@ from repro.bench.runner import (
 )
 from repro.core.estimator import SwmIngestionEstimator
 from repro.core.lr import LinearRegressionEstimator
-from repro.workloads import make_delay_model, workload_names
+from repro.workloads import (
+    WorkloadParams,
+    build_queries,
+    make_delay_model,
+    workload_names,
+)
 
 _SUMMARY_FIELDS = [
     "workload",
@@ -125,6 +132,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "watermark-monotonicity, window-firing, and CPU-budget "
              "invariants every cycle; non-zero exit on any violation",
     )
+    parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip static query-plan validation at engine submission",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -141,6 +152,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         memory_gb=args.memory_gb,
         fault_seed=args.faults,
         check_invariants=args.check_invariants,
+        validate=not args.no_validate,
     )
     res = run_experiment(cfg)
     rows = [_summary_row(res)]
@@ -162,6 +174,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         memory_gb=args.memory_gb,
         fault_seed=args.faults,
         check_invariants=args.check_invariants,
+        validate=not args.no_validate,
     )
     rows = []
     results = []
@@ -193,6 +206,39 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     print(f"{label} under {args.delay}: accuracy {mean_acc:.1f}% "
           f"({args.repetitions} seeds x {args.epochs} epochs)")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import run_lint
+
+    _, exit_code = run_lint(
+        args.paths, output_format=args.format, quiet=args.quiet
+    )
+    return exit_code
+
+
+def cmd_check_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.plan_check import PlanValidationError, validate_queries
+
+    params = WorkloadParams(delay=args.delay, seed=args.seed)
+    try:
+        queries = build_queries(args.workload, args.queries, params)
+        report = validate_queries(queries, raise_on_error=False)
+    except PlanValidationError as exc:
+        # Structural errors surface while the Query objects are built.
+        print(exc.report.render_text())
+        return 1
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        text = report.render_text()
+        if text:
+            print(text)
+        print(
+            f"{args.workload}/{args.queries} queries: "
+            f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        )
+    return 1 if report.errors else 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -232,6 +278,28 @@ def build_parser() -> argparse.ArgumentParser:
     est_p.add_argument("--epochs", type=int, default=400)
     est_p.add_argument("--repetitions", type=int, default=3)
     est_p.set_defaults(func=cmd_estimate)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the determinism linter (KL rules) over source trees"
+    )
+    lint_p.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint (default src/repro)")
+    lint_p.add_argument("--format", default="text", choices=["text", "json"])
+    lint_p.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    lint_p.set_defaults(func=cmd_lint)
+
+    check_p = sub.add_parser(
+        "check-plan",
+        help="statically validate a workload's query plans (KP rules)",
+    )
+    check_p.add_argument("--workload", default="ysb", choices=workload_names())
+    check_p.add_argument("--queries", type=int, default=4)
+    check_p.add_argument("--delay", default="uniform",
+                         choices=["uniform", "zipf"])
+    check_p.add_argument("--seed", type=int, default=1)
+    check_p.add_argument("--format", default="text", choices=["text", "json"])
+    check_p.set_defaults(func=cmd_check_plan)
 
     list_p = sub.add_parser("list", help="list workloads and schedulers")
     list_p.set_defaults(func=cmd_list)

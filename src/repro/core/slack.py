@@ -73,7 +73,9 @@ def expected_slack(
     x = max(now, estimate.t_min)
     while x <= estimate.t_max:
         pr = interval_probability(estimate, x, x + cycle_ms) / denom
-        slack += pr * ((x + cycle_ms - now) - cost_ms)
+        # Expectation over the interval grid, not a time cursor: the sum is
+        # recomputed from scratch every call, so no drift accumulates.
+        slack += pr * ((x + cycle_ms - now) - cost_ms)  # klink: allow[KL005]
         x += cycle_ms
     return slack
 

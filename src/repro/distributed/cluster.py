@@ -116,6 +116,7 @@ class DistributedEngine(Engine):
         rpc_latency_ms: float = 2.0,
         faults=None,
         invariants=None,
+        validate: bool = True,
     ) -> None:
         self.plan = plan
         self.board = ForwardingBoard(rpc_latency_ms)
@@ -133,6 +134,7 @@ class DistributedEngine(Engine):
             seed=seed,
             faults=faults,
             invariants=invariants,
+            validate=validate,
         )
         # Attach transfer latency to cross-node edges.
         self._delayed_channels: List[Channel] = []

@@ -61,6 +61,7 @@ class Engine:
         tracer=None,
         faults=None,
         invariants=None,
+        validate: bool = True,
     ) -> None:
         if cores < 1:
             raise ValueError(f"need at least one core: {cores}")
@@ -69,6 +70,13 @@ class Engine:
         if not queries:
             raise ValueError("engine needs at least one query")
         self.queries = list(queries)
+        if validate:
+            # Fail fast on misconfigured plans (cycles, keyless keyed
+            # windows, watermark-less event-time windows, ...) before a
+            # single simulation cycle runs; ``validate=False`` bypasses.
+            from repro.analysis.plan_check import validate_queries
+
+            validate_queries(self.queries)
         self.scheduler = scheduler
         self.cores = cores
         self.cycle_ms = float(cycle_ms)
@@ -131,7 +139,7 @@ class Engine:
         # source's burst state machine (load spikes, Sec. 1).
         while binding.next_gen_time + spec.gen_batch_ms <= horizon:
             g0 = binding.next_gen_time
-            g1 = g0 + spec.gen_batch_ms
+            g1 = binding.advance_gen()  # drift-free g0 + gen_batch_ms
             count = self._current_rate(binding, g0) * spec.gen_batch_ms / 1000.0
             if shed_events:
                 self.metrics.events_shed += count
@@ -151,14 +159,13 @@ class Engine:
                     bytes_per_event=spec.bytes_per_event,
                 )
                 self._push_network(g1 + delay, query, binding, batch)
-            binding.next_gen_time = g1
         # Watermarks: periodic, timestamp lags generation by the lateness
         # allowance (Sec. 2.2's "current time minus five seconds" pattern).
         # Suppressed for sources whose pipeline generates watermarks with
         # a WatermarkGeneratorOperator instead (Sec. 2.2 case ii).
         while spec.emit_watermarks and binding.next_watermark_time <= horizon:
             g = binding.next_watermark_time
-            binding.next_watermark_time += spec.watermark_period_ms
+            binding.advance_watermark()
             if faults is not None and faults.drops_watermark(qid, g):
                 self.metrics.watermarks_dropped_by_faults += 1
                 continue
@@ -175,7 +182,7 @@ class Engine:
             if faults is not None:
                 delay = max(delay, faults.source_hold_until(qid, g) - g)
             self._push_network(g + delay, query, binding, LatencyMarker(created_at=g))
-            binding.next_marker_time += spec.marker_period_ms
+            binding.advance_marker()
 
     def _current_rate(self, binding: SourceBinding, at: float) -> float:
         """Source rate at generation time ``at``, per the burst state."""

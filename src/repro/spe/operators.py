@@ -286,6 +286,31 @@ class FlatMapOperator(Operator):
                          out_bytes_per_event=out_bytes_per_event)
 
 
+class KeyByOperator(Operator):
+    """Key-partitioning marker (Flink's ``keyBy``).
+
+    Declares the key selector under which downstream keyed windows group
+    their state. Routing itself is not simulated (per-key matching does
+    not affect scheduling behaviour), so the operator is a zero-cost
+    stateless pass-through by default — but its *presence* is what the
+    plan validator checks for upstream of keyed windows (rule KP110),
+    mirroring the SPE rule that a keyed window needs a keyed stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key: str,
+        cost_per_event_ms: float = 0.0,
+        out_bytes_per_event: int = 100,
+    ) -> None:
+        if not key:
+            raise ValueError("key selector must be a non-empty field name")
+        super().__init__(name, cost_per_event_ms, selectivity=1.0,
+                         out_bytes_per_event=out_bytes_per_event)
+        self.key = key
+
+
 class _WindowedOperatorBase(Operator):
     """Shared pane-state machinery for windowed aggregate and join."""
 
@@ -438,6 +463,13 @@ class WindowedAggregate(_WindowedOperatorBase):
     distinct key/group — independent of how many raw events the pane held,
     which is what gives window operators their characteristically low
     selectivity at SWM ingestion (Sec. 3.4).
+
+    A window emitting more than one record per pane is *keyed* (its
+    outputs are per-key aggregates) and must declare its key selector:
+    either pass ``key_by`` here or place a :class:`KeyByOperator`
+    upstream — the plan validator rejects keyed windows with neither
+    (rule KP110), the static analogue of Flink refusing a keyed window
+    on an un-keyed stream.
     """
 
     def __init__(
@@ -449,6 +481,7 @@ class WindowedAggregate(_WindowedOperatorBase):
         state_bytes_per_event: int = 100,
         out_bytes_per_event: int = 100,
         incremental: bool = True,
+        key_by: Optional[str] = None,
     ):
         super().__init__(
             name,
@@ -460,6 +493,7 @@ class WindowedAggregate(_WindowedOperatorBase):
             incremental=incremental,
             n_inputs=1,
         )
+        self.key_by = key_by
 
     def _pane_output_count(self, buffered: float) -> float:
         return min(self.output_events_per_pane, buffered) if buffered else 0.0

@@ -19,9 +19,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.report import Report
 
 from repro.net.delays import DelayModel
 from repro.spe.operators import (
@@ -211,6 +214,38 @@ class StreamProgress:
         return [e.chi for e in self.epochs]
 
 
+class PeriodicCursor:
+    """Drift-free periodic time cursor: ``value = origin + step * period``.
+
+    Accumulating a float period (``cursor += period``) rounds once per
+    addition, so two code paths that should agree on the k-th tick drift
+    apart by ulps — enough to reorder records at horizon boundaries
+    (lint rule KL005). Deriving the value from an integer step count
+    rounds once total, keeping every tick exactly reproducible.
+    """
+
+    __slots__ = ("origin", "period", "step")
+
+    def __init__(self, origin: float, period: float) -> None:
+        self.origin = float(origin)
+        self.period = float(period)
+        self.step = 0
+
+    @property
+    def value(self) -> float:
+        return self.origin + self.step * self.period
+
+    def advance(self) -> float:
+        """Move to the next tick; returns the new cursor value."""
+        self.step += 1
+        return self.value
+
+    def reset(self, origin: float) -> None:
+        """Re-anchor the cursor at ``origin`` (tick zero)."""
+        self.origin = float(origin)
+        self.step = 0
+
+
 class SourceBinding:
     """Wires a :class:`SourceSpec` into a query and tracks its generation
     and progress state. Generation cursors are owned by the engine."""
@@ -234,15 +269,57 @@ class SourceBinding:
         # monitor balances these against entry-operator consumption.
         self.events_ingested = 0.0
         self.watermarks_ingested = 0
-        # generation cursors (engine-managed)
-        self.next_gen_time = 0.0
-        self.next_watermark_time = spec.watermark_period_ms
-        self.next_marker_time = spec.marker_period_ms
+        # generation cursors (engine-managed, drift-free)
+        self._gen_cursor = PeriodicCursor(0.0, spec.gen_batch_ms)
+        self._watermark_cursor = PeriodicCursor(
+            spec.watermark_period_ms, spec.watermark_period_ms
+        )
+        self._marker_cursor = PeriodicCursor(
+            spec.marker_period_ms, spec.marker_period_ms
+        )
         self._history = history
         # burst-state machine (engine-managed)
         self.rng = np.random.default_rng(seed)
         self.bursting = False
         self.burst_state_until = 0.0
+
+    # -- generation cursors ------------------------------------------------
+    # Exposed as plain float attributes for compatibility (tests re-anchor
+    # them); assignment resets the integer tick count at the new origin.
+
+    @property
+    def next_gen_time(self) -> float:
+        """Generation time of the next event batch's start."""
+        return self._gen_cursor.value
+
+    @next_gen_time.setter
+    def next_gen_time(self, value: float) -> None:
+        self._gen_cursor.reset(value)
+
+    @property
+    def next_watermark_time(self) -> float:
+        return self._watermark_cursor.value
+
+    @next_watermark_time.setter
+    def next_watermark_time(self, value: float) -> None:
+        self._watermark_cursor.reset(value)
+
+    @property
+    def next_marker_time(self) -> float:
+        return self._marker_cursor.value
+
+    @next_marker_time.setter
+    def next_marker_time(self, value: float) -> None:
+        self._marker_cursor.reset(value)
+
+    def advance_gen(self) -> float:
+        return self._gen_cursor.advance()
+
+    def advance_watermark(self) -> float:
+        return self._watermark_cursor.advance()
+
+    def advance_marker(self) -> float:
+        return self._marker_cursor.advance()
 
     def bind_progress(
         self, assigner: Optional[WindowAssigner], start_time: float = 0.0
@@ -269,10 +346,6 @@ class Query:
     ) -> None:
         if not bindings:
             raise ValueError("query needs at least one source")
-        if sink not in operators:
-            raise ValueError("sink must appear in the operator list")
-        if operators[-1] is not sink:
-            raise ValueError("operators must be topologically ordered, sink last")
         if deployed_at < 0:
             raise ValueError(f"negative deployment time: {deployed_at}")
         self.query_id = query_id
@@ -280,6 +353,9 @@ class Query:
         self.operators = list(operators)
         self.sink = sink
         self.deployed_at = float(deployed_at)
+        # Structural validation first: _assigner_for walks downstream
+        # pointers and must only run on a graph known to be acyclic.
+        self._validate()
         self._downstream: Dict[Operator, Optional[Operator]] = {}
         self._wire_downstream_map()
         for binding in self.bindings:
@@ -287,41 +363,34 @@ class Query:
             binding.bind_progress(
                 self._assigner_for(binding.operator), start_time=self.deployed_at
             )
-        self._validate()
 
     # -- construction helpers ---------------------------------------------------
 
     def _wire_downstream_map(self) -> None:
-        channel_owner = {}
-        for op in self.operators:
-            for ch in op.inputs:
-                channel_owner[id(ch)] = op
-        for op in self.operators:
-            if op.output is None:
-                self._downstream[op] = None
-            else:
-                owner = channel_owner.get(id(op.output))
-                if owner is None:
-                    raise ValueError(
-                        f"operator {op.name} outputs to a channel outside the query"
-                    )
-                self._downstream[op] = owner
+        from repro.analysis.plan_check import build_downstream_map
+
+        downstream, _ = build_downstream_map(self.operators)
+        self._downstream = downstream
 
     def _validate(self) -> None:
-        for op in self.operators:
-            if op is self.sink:
-                if op.output is not None:
-                    raise ValueError("sink must not have an output")
-            elif self._downstream[op] is None:
-                raise ValueError(f"operator {op.name} is not wired to the sink")
-        # Topological order check: every operator must appear before its
-        # downstream operator.
-        position = {op: i for i, op in enumerate(self.operators)}
-        for op, down in self._downstream.items():
-            if down is not None and position[down] <= position[op]:
-                raise ValueError(
-                    f"operators out of topological order: {op.name} -> {down.name}"
-                )
+        """Graph-shape validation (cycles, wiring, sink placement, topo
+        order), delegated to the static plan validator. Raises
+        :class:`~repro.analysis.plan_check.PlanValidationError` — a
+        ``ValueError`` — on any structural error. The full semantic pass
+        (watermark reachability, key selectors, cost bounds) runs at
+        engine submission via ``repro.analysis.plan_check.check_query``.
+        """
+        from repro.analysis.plan_check import PlanValidationError, check_structure
+
+        report = check_structure(self.operators, self.sink)
+        if not report.ok:
+            raise PlanValidationError(report)
+
+    def validate(self) -> "Report":
+        """Run the full static plan check; returns the diagnostics report."""
+        from repro.analysis.plan_check import check_query
+
+        return check_query(self)
 
     def _assigner_for(self, entry: Operator) -> Optional[WindowAssigner]:
         """First window assigner on the path from ``entry`` downstream."""

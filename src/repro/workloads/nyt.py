@@ -86,6 +86,7 @@ def build_query(
         state_bytes_per_event=96,
         out_bytes_per_event=64,
         incremental=True,
+        key_by="route_id",
     )
     sink = SinkOperator(f"{query_id}.sink", cost_per_event_ms=0.002)
     operators = chain(parse, geo_filter, cell_map, features, fare_filter, window, sink)

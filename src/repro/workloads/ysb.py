@@ -85,6 +85,7 @@ def build_query(
         state_bytes_per_event=64,
         out_bytes_per_event=48,
         incremental=True,
+        key_by="campaign_id",
     )
     sink = SinkOperator(f"{query_id}.sink", cost_per_event_ms=0.002)
     operators = chain(ad_filter, project_join, window, sink)

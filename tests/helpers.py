@@ -44,6 +44,7 @@ def make_simple_query(
         TumblingEventTimeWindows(window_ms, offset=deployed_at),
         cost_per_event_ms=cost_ms,
         output_events_per_pane=outputs_per_pane,
+        key_by="key",
     )
     sink = SinkOperator(f"{query_id}.sink")
     operators = chain(filt, window, sink)

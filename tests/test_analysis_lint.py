@@ -1,0 +1,292 @@
+"""Determinism linter: one positive + one suppressed + one clean case per rule."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import (
+    DEFAULT_FILE_ALLOWLIST,
+    RULES,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    main,
+    run_lint,
+)
+
+
+def codes(source: str, **kwargs) -> list:
+    return lint_source(source, **kwargs).codes()
+
+
+# -- KL000: syntax errors ----------------------------------------------------
+
+
+class TestKL000:
+    def test_syntax_error_is_reported_not_raised(self):
+        report = lint_source("def broken(:\n")
+        assert report.codes() == ["KL000"]
+        assert not report.ok
+
+    def test_location_points_at_the_error(self):
+        (diag,) = lint_source("x = (\n").diagnostics
+        assert diag.file == "<string>"
+        assert diag.line >= 1
+
+
+# -- KL001: wall clock -------------------------------------------------------
+
+
+class TestKL001:
+    def test_time_time(self):
+        assert codes("import time\nt = time.time()\n") == ["KL001"]
+
+    def test_perf_counter_through_from_import_alias(self):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        assert codes(src) == ["KL001"]
+
+    def test_datetime_now(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert codes(src) == ["KL001"]
+
+    def test_suppressed_by_pragma(self):
+        src = "import time\nt = time.time()  # klink: allow[KL001]\n"
+        assert codes(src) == []
+
+    def test_file_allowlist_suppresses_whole_rule(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(src, allowed=frozenset({"KL001"})) == []
+
+    def test_virtual_clock_is_clean(self):
+        src = "def step(clock):\n    return clock.now\n"
+        assert codes(src) == []
+
+    def test_time_sleep_is_clean(self):
+        # Only *reading* the wall clock is flagged.
+        assert codes("import time\ntime.sleep(0)\n") == []
+
+
+# -- KL002: unseeded randomness ----------------------------------------------
+
+
+class TestKL002:
+    def test_random_module(self):
+        assert codes("import random\nx = random.random()\n") == ["KL002"]
+
+    def test_random_shuffle(self):
+        assert codes("import random\nrandom.shuffle(xs)\n") == ["KL002"]
+
+    def test_seeded_random_instance_is_clean(self):
+        assert codes("import random\nrng = random.Random(42)\n") == []
+
+    def test_numpy_module_level_sampling(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert codes(src) == ["KL002"]
+
+    def test_seedless_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(src) == ["KL002"]
+
+    def test_seeded_default_rng_is_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert codes(src) == []
+
+    def test_suppressed_by_pragma(self):
+        src = "import random\nx = random.random()  # klink: allow[KL002]\n"
+        assert codes(src) == []
+
+    def test_generator_method_calls_are_clean(self):
+        src = "def draw(rng):\n    return rng.normal(0.0, 1.0)\n"
+        assert codes(src) == []
+
+
+# -- KL003: unordered set iteration ------------------------------------------
+
+
+class TestKL003:
+    def test_for_over_set_literal(self):
+        assert codes("for x in {1, 2, 3}:\n    pass\n") == ["KL003"]
+
+    def test_for_over_set_call(self):
+        assert codes("for x in set(items):\n    pass\n") == ["KL003"]
+
+    def test_list_of_set(self):
+        assert codes("xs = list({1, 2})\n") == ["KL003"]
+
+    def test_comprehension_over_set_union(self):
+        src = "ys = [f(x) for x in a.union(b)]\n"
+        assert codes(src) == ["KL003"]
+
+    def test_sorted_set_is_clean(self):
+        assert codes("for x in sorted(set(items)):\n    pass\n") == []
+
+    def test_set_membership_is_clean(self):
+        assert codes("if x in {1, 2}:\n    pass\n") == []
+
+    def test_empty_set_call_is_clean(self):
+        assert codes("seen = set()\n") == []
+
+    def test_suppressed_by_pragma(self):
+        src = "for x in {1, 2}:  # klink: allow[KL003]\n    pass\n"
+        assert codes(src) == []
+
+
+# -- KL004: id()-based ordering ----------------------------------------------
+
+
+class TestKL004:
+    def test_sorted_key_id(self):
+        assert codes("ys = sorted(ops, key=id)\n") == ["KL004"]
+
+    def test_list_sort_key_id(self):
+        assert codes("ops.sort(key=lambda o: id(o))\n") == ["KL004"]
+
+    def test_id_comparison(self):
+        assert codes("flag = id(a) < id(b)\n") == ["KL004"]
+
+    def test_dict_keyed_by_id_is_clean(self):
+        # Indexing by id() and ordering the *values* is legitimate.
+        assert codes("ok = pos[id(a)] < pos[id(b)]\n") == []
+
+    def test_id_equality_is_clean(self):
+        assert codes("same = id(a) == id(b)\n") == []
+
+    def test_sorted_by_name_is_clean(self):
+        assert codes("ys = sorted(ops, key=lambda o: o.name)\n") == []
+
+    def test_suppressed_by_pragma(self):
+        src = "ys = sorted(ops, key=id)  # klink: allow[KL004]\n"
+        assert codes(src) == []
+
+
+# -- KL005: float accumulation into watermark/slack state ---------------------
+
+
+class TestKL005:
+    def test_watermark_attribute_accumulation(self):
+        src = "class S:\n    def step(self, p):\n        self.next_watermark_time += p\n"
+        assert codes(src) == ["KL005"]
+
+    def test_slack_accumulation(self):
+        assert codes("slack += pr * x\n") == ["KL005"]
+
+    def test_integer_counter_is_clean(self):
+        # Integer stepping cannot drift; only float accumulation is flagged.
+        assert codes("watermark_seq += 1\n") == []
+
+    def test_unrelated_name_is_clean(self):
+        assert codes("total += pr * x\n") == []
+
+    def test_suppressed_by_pragma(self):
+        src = "slack += pr * x  # klink: allow[KL005] expectation\n"
+        assert codes(src) == []
+
+    def test_wildcard_pragma(self):
+        src = "slack += pr * x  # klink: allow[*]\n"
+        assert codes(src) == []
+
+
+# -- file/tree drivers -------------------------------------------------------
+
+
+class TestDrivers:
+    def test_iter_python_files_sorted_and_deduplicated(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        files = iter_python_files([tmp_path, tmp_path / "a.py"])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_lint_paths_merges_reports(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "good.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path])
+        assert report.codes() == ["KL001"]
+
+    def test_default_allowlist_covers_tracing(self):
+        assert "KL001" in DEFAULT_FILE_ALLOWLIST["spe/tracing.py"]
+
+    def test_rules_table_matches_emitted_codes(self):
+        assert set(RULES) == {"KL000", "KL001", "KL002", "KL003", "KL004", "KL005"}
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_lints_clean(self):
+        """Regression: the shipped package must stay free of lint findings."""
+        pkg = Path(repro.__file__).parent
+        report = lint_paths([pkg])
+        assert report.codes() == [], report.render_text()
+
+    def test_analysis_package_is_fully_annotated(self):
+        """pyproject pins mypy disallow_untyped_defs on repro.analysis;
+        mypy is not a runtime dependency, so enforce the contract
+        structurally too."""
+        import ast
+
+        unannotated = []
+        for path in sorted((Path(repro.__file__).parent / "analysis").glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                args = node.args
+                params = args.posonlyargs + args.args + args.kwonlyargs
+                missing = any(
+                    p.annotation is None and p.arg not in ("self", "cls")
+                    for p in params
+                )
+                if node.returns is None or missing:
+                    unannotated.append(f"{path.name}:{node.lineno} {node.name}")
+        assert unannotated == []
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_with_code_and_location_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "KL001" in out
+        assert f"{bad}:2:" in out
+
+    def test_exit_two_when_no_files_found(self, tmp_path):
+        assert main([str(tmp_path / "missing")]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("ys = sorted(ops, key=id)\n")
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["code"] == "KL004"
+
+    def test_rules_listing(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_run_lint_quiet_prints_nothing(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report, exit_code = run_lint([str(tmp_path)], quiet=True)
+        assert exit_code == 0
+        assert report.ok
+        assert capsys.readouterr().out == ""
+
+    def test_repro_bench_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as bench_main
+
+        (tmp_path / "bad.py").write_text("import random\nrandom.random()\n")
+        assert bench_main(["lint", str(tmp_path)]) == 1
+        assert "KL002" in capsys.readouterr().out

@@ -42,6 +42,7 @@ def make_stochastic_query(query_id: str = "q0", *, seed: int = 0) -> Query:
         TumblingEventTimeWindows(1000.0),
         cost_per_event_ms=0.01,
         output_events_per_pane=10.0,
+        key_by="key",
     )
     sink = SinkOperator(f"{query_id}.sink")
     operators = chain(filt, window, sink)

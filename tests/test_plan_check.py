@@ -1,0 +1,410 @@
+"""Query-plan static validator: one test per diagnostic + engine wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_join_query, make_simple_query
+from repro.analysis.plan_check import (
+    PLAN_RULES,
+    PlanValidationError,
+    check_chaining,
+    check_costs,
+    check_query,
+    check_structure,
+    validate_queries,
+)
+from repro.core.baselines import DefaultScheduler
+from repro.net.delays import ConstantDelay, UniformDelay
+from repro.spe.chaining import fuse_stateless
+from repro.spe.engine import Engine
+from repro.spe.operators import (
+    FilterOperator,
+    KeyByOperator,
+    MapOperator,
+    SinkOperator,
+    WindowedAggregate,
+)
+from repro.spe.query import Query, SourceBinding, SourceSpec, chain
+from repro.spe.watermarks import BoundedOutOfOrderness, WatermarkGeneratorOperator
+from repro.spe.windows import (
+    CountWindows,
+    SlidingEventTimeWindows,
+    TumblingEventTimeWindows,
+)
+
+
+def make_spec(name="src", lateness_ms=0.0, **kwargs):
+    defaults = dict(
+        rate_eps=1000.0,
+        watermark_period_ms=500.0,
+        lateness_ms=lateness_ms,
+    )
+    defaults.update(kwargs)
+    defaults.setdefault("delay_model", ConstantDelay(max(lateness_ms, 0.0)))
+    return SourceSpec(name=name, **defaults)
+
+
+def simple_ops(query_id="q"):
+    filt = FilterOperator(f"{query_id}.filter", 0.01, selectivity=0.5)
+    window = WindowedAggregate(
+        f"{query_id}.window",
+        TumblingEventTimeWindows(1000.0),
+        cost_per_event_ms=0.01,
+    )
+    sink = SinkOperator(f"{query_id}.sink")
+    return filt, window, sink
+
+
+# -- structural rules --------------------------------------------------------
+
+
+class TestStructure:
+    def test_clean_linear_plan(self):
+        filt, window, sink = simple_ops()
+        report = check_structure(chain(filt, window, sink), sink)
+        assert report.ok and not report.codes()
+
+    def test_kp101_cycle(self):
+        a = MapOperator("a", 0.01)
+        b = MapOperator("b", 0.01)
+        sink = SinkOperator("snk")
+        a.connect(b)
+        b.connect(a)  # back-edge
+        report = check_structure([a, b, sink], sink)
+        assert "KP101" in report.codes()
+        assert not report.ok
+
+    def test_kp102_dangling_output(self):
+        a = MapOperator("a", 0.01)
+        stranger = MapOperator("stranger", 0.01)
+        sink = SinkOperator("snk")
+        a.connect(stranger)  # channel owned by an operator outside the plan
+        report = check_structure([a, sink], sink)
+        assert "KP102" in report.codes()
+
+    def test_kp103_not_wired_to_sink(self):
+        a = MapOperator("a", 0.01)  # never connected
+        sink = SinkOperator("snk")
+        report = check_structure([a, sink], sink)
+        assert "KP103" in report.codes()
+
+    def test_kp105_missing_sink(self):
+        a = MapOperator("a", 0.01)
+        report = check_structure([a])
+        assert "KP105" in report.codes()
+
+    def test_kp105_sink_not_last(self):
+        a = MapOperator("a", 0.01)
+        sink = SinkOperator("snk")
+        a.connect(sink)
+        report = check_structure([sink, a], sink)
+        assert "KP105" in report.codes()
+
+    def test_kp106_out_of_topological_order(self):
+        a = MapOperator("a", 0.01)
+        b = MapOperator("b", 0.01)
+        sink = SinkOperator("snk")
+        a.connect(b)
+        b.connect(sink)
+        report = check_structure([b, a, sink], sink)
+        assert "KP106" in report.codes()
+
+    def test_kp117_duplicate_operator_name(self):
+        a = MapOperator("dup", 0.01)
+        b = MapOperator("dup", 0.01)
+        sink = SinkOperator("snk")
+        a.connect(b)
+        b.connect(sink)
+        report = check_structure([a, b, sink], sink)
+        assert "KP117" in report.codes()
+        assert report.ok  # warning severity: not blocking
+
+    def test_query_constructor_raises_before_any_wiring_on_cycle(self):
+        a = MapOperator("a", 0.01)
+        b = MapOperator("b", 0.01)
+        sink = SinkOperator("snk")
+        a.connect(b)
+        b.connect(a)
+        binding = SourceBinding(make_spec(), a)
+        with pytest.raises(PlanValidationError):
+            Query("q", [binding], [a, b, sink], sink)
+
+    def test_query_constructor_still_raises_plain_valueerror_compat(self):
+        a = MapOperator("a", 0.01)
+        sink = SinkOperator("snk")
+        a.connect(sink)
+        binding = SourceBinding(make_spec(), a)
+        with pytest.raises(ValueError):
+            Query("q", [binding], [sink, a], sink)  # sink not last
+
+
+# -- source/watermark rules --------------------------------------------------
+
+
+class TestSources:
+    def make_query(self, spec, ops=None):
+        if ops is None:
+            ops = simple_ops()
+        binding = SourceBinding(spec, ops[0])
+        return Query("q", [binding], chain(*ops), ops[-1])
+
+    def test_kp113_negative_lateness(self):
+        spec = make_spec(lateness_ms=-5.0, delay_model=ConstantDelay(0.0))
+        report = check_query(self.make_query(spec))
+        assert "KP113" in report.codes()
+
+    def test_kp114_lateness_below_delay_bound(self):
+        spec = make_spec(lateness_ms=10.0, delay_model=UniformDelay(0.0, 200.0, seed=1))
+        report = check_query(self.make_query(spec))
+        assert "KP114" in report.codes()
+        assert report.ok  # warning only
+
+    def test_kp111_window_unreachable_by_watermarks(self):
+        spec = make_spec(emit_watermarks=False)
+        report = check_query(self.make_query(spec))
+        assert "KP111" in report.codes()
+        assert not report.ok
+
+    def test_kp111_satisfied_by_midstream_generator(self):
+        spec = make_spec(emit_watermarks=False)
+        gen = WatermarkGeneratorOperator(
+            "gen", BoundedOutOfOrderness(bound_ms=100.0, period_ms=200.0)
+        )
+        window = WindowedAggregate(
+            "w", TumblingEventTimeWindows(1000.0), 0.01
+        )
+        sink = SinkOperator("snk")
+        report = check_query(self.make_query(spec, (gen, window, sink)))
+        assert "KP111" not in report.codes()
+
+    def test_kp118_two_watermark_authorities(self):
+        spec = make_spec()  # emit_watermarks=True
+        gen = WatermarkGeneratorOperator(
+            "gen", BoundedOutOfOrderness(bound_ms=100.0, period_ms=200.0)
+        )
+        window = WindowedAggregate("w", TumblingEventTimeWindows(1000.0), 0.01)
+        sink = SinkOperator("snk")
+        report = check_query(self.make_query(spec, (gen, window, sink)))
+        assert "KP118" in report.codes()
+        assert report.ok  # warning only
+
+    def test_kp115_watermark_period_exceeds_window_size(self):
+        spec = make_spec(watermark_period_ms=5000.0)
+        window = WindowedAggregate(
+            "w", SlidingEventTimeWindows(1000.0, 500.0), 0.01
+        )
+        filt = FilterOperator("f", 0.01, selectivity=0.5)
+        sink = SinkOperator("snk")
+        report = check_query(self.make_query(spec, (filt, window, sink)))
+        assert "KP115" in report.codes()
+
+    def test_kp104_unfed_join_input(self):
+        query = make_join_query(n_inputs=2)
+        join = query.operators[2]
+        assert len(join.inputs) == 2
+        # Rebind only one input: the other channel is never fed.
+        query.bindings.pop()
+        report = check_query(query)
+        assert "KP104" in report.codes()
+
+
+# -- window rules ------------------------------------------------------------
+
+
+class TestWindows:
+    def build(self, window, head=None):
+        head = head or FilterOperator("f", 0.01, selectivity=0.5)
+        sink = SinkOperator("snk")
+        ops = chain(head, window, sink)
+        binding = SourceBinding(make_spec(), head)
+        return Query("q", [binding], ops, sink)
+
+    def test_kp112_count_assigner_on_event_time_operator(self):
+        window = WindowedAggregate("w", CountWindows(100), 0.01)
+        report = check_query(self.build(window))
+        assert "KP112" in report.codes()
+
+    def test_kp110_keyed_window_without_key(self):
+        window = WindowedAggregate(
+            "w", TumblingEventTimeWindows(1000.0), 0.01,
+            output_events_per_pane=10.0,
+        )
+        report = check_query(self.build(window))
+        assert "KP110" in report.codes()
+        assert not report.ok
+
+    def test_kp110_satisfied_by_key_by_param(self):
+        window = WindowedAggregate(
+            "w", TumblingEventTimeWindows(1000.0), 0.01,
+            output_events_per_pane=10.0, key_by="campaign_id",
+        )
+        report = check_query(self.build(window))
+        assert "KP110" not in report.codes()
+
+    def test_kp110_satisfied_by_upstream_key_by_operator(self):
+        window = WindowedAggregate(
+            "w", TumblingEventTimeWindows(1000.0), 0.01,
+            output_events_per_pane=10.0,
+        )
+        report = check_query(self.build(window, head=KeyByOperator("kb", "user")))
+        assert "KP110" not in report.codes()
+
+    def test_unkeyed_single_output_window_is_fine(self):
+        window = WindowedAggregate("w", TumblingEventTimeWindows(1000.0), 0.01)
+        report = check_query(self.build(window))
+        assert "KP110" not in report.codes()
+
+    def test_key_by_operator_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            KeyByOperator("kb", "")
+
+
+# -- cost / chaining rules ---------------------------------------------------
+
+
+class TestCostsAndChaining:
+    def test_kp120_insane_cost(self):
+        op = MapOperator("m", cost_per_event_ms=500.0)
+        report = check_costs([op])
+        assert report.codes() == ["KP120"]
+        assert report.ok  # warning only
+
+    def test_kp121_insane_selectivity(self):
+        # FilterOperator rejects selectivity > 1 itself; an expanding
+        # flat-map-style operator is where the bound matters.
+        op = MapOperator("m", 0.01)
+        op.selectivity = 1000.0
+        report = check_costs([op])
+        assert report.codes() == ["KP121"]
+
+    def test_sane_parameters_are_clean(self):
+        op = MapOperator("m", cost_per_event_ms=0.01)
+        assert check_costs([op]).codes() == []
+
+    def test_kp116_stateful_member_smuggled_into_fused_chain(self):
+        fused = fuse_stateless(
+            [MapOperator("a", 0.01), MapOperator("b", 0.01)]
+        )
+        fused.members.append(
+            WindowedAggregate("w", TumblingEventTimeWindows(1000.0), 0.01)
+        )
+        report = check_chaining([fused])
+        assert "KP116" in report.codes()
+        assert not report.ok
+
+    def test_kp122_fusible_run_advice(self):
+        query = make_simple_query()  # filter feeds the window: no run >= 2
+        a = MapOperator("a", 0.01)
+        b = MapOperator("b", 0.01)
+        sink = SinkOperator("snk")
+        report = check_chaining(chain(a, b, sink))
+        assert "KP122" in report.codes()
+        assert report.ok  # advice severity
+
+    def test_valid_fused_chain_is_clean(self):
+        fused = fuse_stateless([MapOperator("a", 0.01), MapOperator("b", 0.01)])
+        assert check_chaining([fused]).codes() == []
+
+
+# -- engine integration ------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def bad_query(self):
+        """Keyed window without a key selector: KP110 at submission."""
+        spec = make_spec()
+        filt = FilterOperator("q.filter", 0.01, selectivity=0.5)
+        window = WindowedAggregate(
+            "q.window", TumblingEventTimeWindows(1000.0), 0.01,
+            output_events_per_pane=10.0,
+        )
+        sink = SinkOperator("q.sink")
+        ops = chain(filt, window, sink)
+        return Query("q", [SourceBinding(spec, filt)], ops, sink)
+
+    def test_engine_rejects_invalid_plan_before_any_cycle(self):
+        with pytest.raises(PlanValidationError) as exc_info:
+            Engine([self.bad_query()], DefaultScheduler(), cores=4)
+        assert any(d.code == "KP110" for d in exc_info.value.report.errors)
+
+    def test_engine_no_validate_bypass(self):
+        engine = Engine(
+            [self.bad_query()], DefaultScheduler(), cores=4, validate=False
+        )
+        engine.run(2_000.0)  # runs; validation never consulted
+
+    def test_engine_accepts_valid_plan(self):
+        engine = Engine([make_simple_query()], DefaultScheduler(), cores=4)
+        metrics = engine.run(2_000.0)
+        assert metrics.cycles > 0
+
+    def test_duplicate_query_ids_rejected(self):
+        queries = [make_simple_query("q0", seed=0), make_simple_query("q0", seed=1)]
+        with pytest.raises(PlanValidationError):
+            validate_queries(queries)
+
+    def test_validate_queries_report_mode(self):
+        report = validate_queries([self.bad_query()], raise_on_error=False)
+        assert not report.ok
+        assert any(d.where and d.where.startswith("q:") for d in report.errors)
+
+    def test_query_validate_method(self):
+        report = make_simple_query().validate()
+        assert report.ok
+
+    def test_error_message_names_rule_and_operator(self):
+        with pytest.raises(PlanValidationError) as exc_info:
+            validate_queries([self.bad_query()])
+        message = str(exc_info.value)
+        assert "KP110" in message and "q.window" in message
+
+    def test_plan_rules_table_is_complete(self):
+        assert {"KP101", "KP110", "KP111", "KP122"} <= set(PLAN_RULES)
+
+
+# -- every shipped query construction validates ------------------------------
+
+
+WORKLOAD_CASES = [("ysb", 2), ("lrb", 2), ("nyt", 2)]
+
+
+class TestShippedPlansValidate:
+    @pytest.mark.parametrize("workload,n", WORKLOAD_CASES)
+    def test_workload_plans_are_error_free(self, workload, n):
+        from repro.workloads import WorkloadParams, build_queries
+
+        queries = build_queries(workload, n, WorkloadParams(seed=1))
+        report = validate_queries(queries, raise_on_error=False)
+        assert report.ok, report.render_text()
+
+    def test_helper_plans_are_error_free(self):
+        report = validate_queries(
+            [make_simple_query("s0"), make_join_query("j0")],
+            raise_on_error=False,
+        )
+        assert report.ok, report.render_text()
+
+    def test_fraud_detection_example_plans_are_error_free(self):
+        import pathlib
+        import sys
+
+        examples = pathlib.Path(__file__).resolve().parent.parent / "examples"
+        sys.path.insert(0, str(examples))
+        try:
+            import fraud_detection
+
+            queries = [
+                fraud_detection.build_fraud_query(f"fraud-{i}", seed=i)
+                for i in range(2)
+            ]
+        finally:
+            sys.path.pop(0)
+        report = validate_queries(queries, raise_on_error=False)
+        assert report.ok, report.render_text()
+
+    def test_cli_check_plan_exits_zero(self, capsys):
+        from repro.cli import main as bench_main
+
+        assert bench_main(["check-plan", "--workload", "ysb", "--queries", "2"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out

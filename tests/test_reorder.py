@@ -104,7 +104,7 @@ class TestIopOverheadEndToEnd:
             filt = FilterOperator("f", 0.01, selectivity=0.5)
             window = WindowedAggregate(
                 "w", TumblingEventTimeWindows(1000.0), 0.01,
-                output_events_per_pane=10,
+                output_events_per_pane=10, key_by="key",
             )
             sink = SinkOperator("snk")
             ops += [filt, window, sink]

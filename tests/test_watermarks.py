@@ -128,7 +128,7 @@ class TestEndToEndMidPipelineGeneration:
         )
         window = WindowedAggregate(
             "w", TumblingEventTimeWindows(1000.0), 0.01,
-            output_events_per_pane=5,
+            output_events_per_pane=5, key_by="key",
         )
         sink = SinkOperator("snk")
         gen.connect(window)
