@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint mypy check-plan check
+.PHONY: test lint mypy check-plan check-report check
 
 test:
 	$(PY) -m pytest -x -q
@@ -12,11 +12,20 @@ lint:
 	$(PY) -m repro.analysis.lint src/repro --ci
 
 mypy:
-	mypy src/repro/analysis
+	mypy src/repro/analysis src/repro/obs
 
 check-plan:
 	@for wl in ysb lrb nyt; do \
 		$(PY) -m repro.cli check-plan --workload $$wl --queries 4 || exit 1; \
 	done
 
-check: lint check-plan test
+check-report:
+	@for wl in ysb lrb nyt; do \
+		$(PY) -m repro.cli report --workload $$wl --scheduler Klink \
+			--queries 4 --duration 15 --format json --check-schema \
+			> /dev/null || exit 1; \
+	done
+	$(PY) -m repro.cli report --workload ysb --scheduler Default \
+		--queries 4 --duration 15 --format json --check-schema > /dev/null
+
+check: lint check-plan check-report test

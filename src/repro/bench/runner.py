@@ -29,6 +29,7 @@ from repro.core.baselines import (
 from repro.core.klink import KlinkScheduler
 from repro.core.scheduler import Scheduler
 from repro.faults import FaultPlan, InvariantMonitor
+from repro.obs import AuditLog, ChainProfile, OperatorProfiler, Trace, TraceWriter
 from repro.spe.engine import Engine
 from repro.spe.memory import GIB, MemoryConfig
 from repro.spe.metrics import RunMetrics
@@ -91,6 +92,10 @@ class ExperimentConfig:
     fault_seed: Optional[int] = None  # None -> no fault injection
     check_invariants: bool = False  # attach an InvariantMonitor
     validate: bool = True  # static plan validation at submission
+    audit: bool = False  # attach a scheduler-decision AuditLog
+    profile: bool = False  # attach a per-operator OperatorProfiler
+    audit_max_rows: int = 50_000  # AuditLog in-memory bound
+    trace_path: Optional[str] = None  # stream a full run trace to this file
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -105,6 +110,8 @@ class ExperimentResult:
     config: ExperimentConfig
     metrics: RunMetrics
     monitor: Optional[InvariantMonitor] = None
+    audit: Optional[AuditLog] = None
+    chain_profiles: List[ChainProfile] = field(default_factory=list)
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -122,6 +129,53 @@ class ExperimentResult:
             f"cpu={s['mean_cpu_pct']:5.1f}% "
             f"mem={s['mean_memory_gb']:5.2f}GB"
         )
+
+
+def trace_meta(config: ExperimentConfig) -> Dict[str, object]:
+    """The experiment identity recorded in a trace's ``meta`` record."""
+    return {
+        "workload": config.workload,
+        "scheduler": config.scheduler,
+        "n_queries": config.n_queries,
+        "duration_ms": config.duration_ms,
+        "cores": config.cores,
+        "cycle_ms": config.cycle_ms,
+        "delay": config.delay,
+        "rate_scale": config.rate_scale,
+        "seed": config.seed,
+    }
+
+
+def trace_summary(metrics: RunMetrics) -> Dict[str, object]:
+    """The end-of-run ``summary`` record of a trace (headline numbers
+    plus the latency CDF points the report renders)."""
+    summary: Dict[str, object] = dict(metrics.summary())
+    summary["cycles"] = metrics.cycles
+    summary["backpressure_cycles"] = metrics.backpressure_cycles
+    summary["total_events_processed"] = metrics.total_events_processed
+    summary["events_shed"] = metrics.events_shed
+    summary["late_events_dropped"] = metrics.late_events_dropped
+    summary["latency_cdf"] = [list(point) for point in metrics.latency_cdf()]
+    return summary
+
+
+def trace_from_result(result: ExperimentResult) -> Trace:
+    """Assemble an in-memory run trace from an audited/profiled result.
+
+    Requires the experiment to have run with ``audit=True``; operator
+    and chain sections are filled when ``profile=True`` was also set.
+    """
+    if result.audit is None:
+        raise ValueError(
+            "experiment ran without an audit log; re-run with audit=True"
+        )
+    return Trace(
+        meta=trace_meta(result.config),
+        cycles=[record.to_dict() for record in result.audit.rows],
+        operators=[p.to_dict() for p in result.metrics.operator_profiles],
+        chains=[c.to_dict() for c in result.chain_profiles],
+        summary=trace_summary(result.metrics),
+    )
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -142,6 +196,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             query_ids=[q.query_id for q in queries],
         )
     monitor = InvariantMonitor() if config.check_invariants else None
+    writer = None
+    if config.trace_path is not None:
+        writer = TraceWriter(config.trace_path, meta=trace_meta(config))
+    audit = None
+    if config.audit or writer is not None:
+        audit = AuditLog(max_rows=config.audit_max_rows, stream=writer)
+    profiler = None
+    if config.profile or writer is not None:
+        profiler = OperatorProfiler()
     engine = Engine(
         queries,
         scheduler,
@@ -149,12 +212,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         cycle_ms=config.cycle_ms,
         memory=MemoryConfig(capacity_bytes=config.resolved_memory_gb() * GIB),
         seed=config.seed,
+        audit=audit,
+        profiler=profiler,
         faults=faults,
         invariants=monitor,
         validate=config.validate,
     )
     metrics = engine.run(config.duration_ms)
-    return ExperimentResult(config=config, metrics=metrics, monitor=monitor)
+    chains = profiler.chain_profiles(queries) if profiler is not None else []
+    if writer is not None:
+        writer.finalize(
+            operators=[p.to_dict() for p in metrics.operator_profiles],
+            chains=[c.to_dict() for c in chains],
+            summary=trace_summary(metrics),
+        )
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        monitor=monitor,
+        audit=audit,
+        chain_profiles=chains,
+    )
 
 
 _CACHE: Dict[ExperimentConfig, ExperimentResult] = {}

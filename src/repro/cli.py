@@ -4,6 +4,8 @@ Usage (installed as ``repro-bench``, or ``python -m repro.cli``)::
 
     repro-bench run --workload ysb --scheduler Klink --queries 60
     repro-bench sweep --workload lrb --queries 20 40 60 --schedulers Default Klink
+    repro-bench report --workload ysb --scheduler Klink --queries 8 --duration 30
+    repro-bench report --trace trace.jsonl --format json
     repro-bench estimate --delay zipf --confidence 95
     repro-bench check-plan --workload ysb --queries 4
     repro-bench lint src/repro
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -27,6 +30,7 @@ from repro.bench.runner import (
     SCHEDULER_NAMES,
     WORKLOAD_MEMORY_GB,
     run_experiment,
+    trace_from_result,
 )
 from repro.core.estimator import SwmIngestionEstimator
 from repro.core.lr import LinearRegressionEstimator
@@ -153,8 +157,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         fault_seed=args.faults,
         check_invariants=args.check_invariants,
         validate=not args.no_validate,
+        trace_path=args.trace,
     )
     res = run_experiment(cfg)
+    if args.trace:
+        print(f"[trace] wrote {args.trace}")
     rows = [_summary_row(res)]
     _print_rows(rows)
     if args.csv:
@@ -188,6 +195,62 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         _write_csv(args.csv, rows)
     return _report_monitors(results)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import build_report, jsonify, read_trace, render_text
+    from repro.obs.schema import (
+        SchemaError,
+        validate_cycle,
+        validate_operator,
+        validate_report,
+    )
+
+    if args.trace is not None:
+        trace = read_trace(args.trace)
+    else:
+        cfg = ExperimentConfig(
+            workload=args.workload,
+            scheduler=args.scheduler,
+            n_queries=args.queries,
+            duration_ms=args.duration * 1000.0,
+            cores=args.cores,
+            cycle_ms=args.cycle,
+            delay=args.delay,
+            rate_scale=args.rate_scale,
+            seed=args.seed,
+            memory_gb=args.memory_gb,
+            audit=True,
+            profile=True,
+            trace_path=args.save_trace,
+        )
+        res = run_experiment(cfg)
+        trace = trace_from_result(res)
+    report = build_report(trace, top_k=args.top_k)
+    payload = json.loads(report.to_json())
+    if args.check_schema:
+        try:
+            validate_report(payload)
+            for row in trace.cycles:
+                validate_cycle(jsonify(row))
+            for row in trace.operators:
+                validate_operator(jsonify(row))
+        except SchemaError as exc:
+            print(f"[schema] FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"[schema] OK: report + {len(trace.cycles)} cycle and "
+            f"{len(trace.operators)} operator records",
+            file=sys.stderr,
+        )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(render_text(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+    return 0
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
@@ -261,7 +324,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run_p)
     run_p.add_argument("--scheduler", default="Klink", choices=SCHEDULER_NAMES)
     run_p.add_argument("--queries", type=int, default=60)
+    run_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream a full run trace (scheduler decisions, operator "
+             "profiles, summary) to PATH as JSONL, for repro-bench report",
+    )
     run_p.set_defaults(func=cmd_run)
+
+    report_p = sub.add_parser(
+        "report",
+        help="render a run report (decision timeline, per-operator "
+             "profile, latency CDF) from a saved trace or a fresh run",
+    )
+    report_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="read a trace written by 'run --trace' instead of running",
+    )
+    report_p.add_argument("--workload", default="ysb", choices=workload_names())
+    report_p.add_argument("--scheduler", default="Klink",
+                          choices=SCHEDULER_NAMES)
+    report_p.add_argument("--queries", type=int, default=8)
+    report_p.add_argument("--duration", type=float, default=30.0,
+                          help="simulated seconds (default 30)")
+    report_p.add_argument("--cores", type=int, default=24)
+    report_p.add_argument("--cycle", type=float, default=120.0)
+    report_p.add_argument("--delay", default="uniform",
+                          choices=["uniform", "zipf"])
+    report_p.add_argument("--rate-scale", type=float, default=1.0)
+    report_p.add_argument("--seed", type=int, default=1)
+    report_p.add_argument("--memory-gb", type=float, default=None)
+    report_p.add_argument("--save-trace", default=None, metavar="PATH",
+                          help="also stream the run's trace to PATH")
+    report_p.add_argument("--top-k", type=int, default=10,
+                          help="hottest operators to list (default 10)")
+    report_p.add_argument("--format", default="text",
+                          choices=["text", "json"])
+    report_p.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the JSON report to PATH")
+    report_p.add_argument(
+        "--check-schema", action="store_true",
+        help="validate the report and trace records against the "
+             "documented schemas; non-zero exit on mismatch",
+    )
+    report_p.set_defaults(func=cmd_report)
 
     sweep_p = sub.add_parser("sweep", help="sweep query counts x schedulers")
     _add_common(sweep_p)

@@ -18,10 +18,36 @@
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
 from repro.spe.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.audit import QueryDecision
+
+
+def _explain_scored(
+    plan: Plan, reason: str, score_of: Callable[[Query], Optional[float]]
+) -> "List[QueryDecision]":
+    """Audit-trail decisions for a policy ranked by one scalar key."""
+    from repro.obs.audit import QueryDecision
+
+    decisions = []
+    for rank, alloc in enumerate(plan.allocations):
+        query = alloc.query
+        score = score_of(query)
+        decisions.append(
+            QueryDecision(
+                query_id=query.query_id,
+                rank=rank,
+                reason=reason,
+                score=score if score is None or math.isfinite(score) else None,
+                memory_bytes=query.memory_bytes,
+                queued_events=query.queued_events,
+            )
+        )
+    return decisions
 
 
 class DefaultScheduler(Scheduler):
@@ -32,6 +58,11 @@ class DefaultScheduler(Scheduler):
     def plan(self, ctx: SchedulerContext) -> Plan:
         allocations = [Allocation(q) for q in ctx.queries]
         return Plan(allocations, mode="share")
+
+    def explain_plan(
+        self, ctx: SchedulerContext, plan: Plan
+    ) -> "List[QueryDecision]":
+        return _explain_scored(plan, "processor-share", lambda q: None)
 
 
 class FCFSScheduler(Scheduler):
@@ -46,6 +77,14 @@ class FCFSScheduler(Scheduler):
 
         ordered = sorted(ctx.queries, key=key)
         return Plan([Allocation(q) for q in ordered], mode="priority")
+
+    def explain_plan(
+        self, ctx: SchedulerContext, plan: Plan
+    ) -> "List[QueryDecision]":
+        # score: engine time of the oldest queued record (the ranking key)
+        return _explain_scored(
+            plan, "fcfs-oldest-arrival", lambda q: q.oldest_queued_arrival()
+        )
 
 
 class RoundRobinScheduler(Scheduler):
@@ -64,6 +103,11 @@ class RoundRobinScheduler(Scheduler):
         rotation = queries[start:] + queries[:start]
         self._cursor = (start + ctx.cores) % len(queries)
         return Plan([Allocation(q) for q in rotation], mode="priority")
+
+    def explain_plan(
+        self, ctx: SchedulerContext, plan: Plan
+    ) -> "List[QueryDecision]":
+        return _explain_scored(plan, "rr-rotation", lambda q: None)
 
     def reset(self) -> None:
         self._cursor = 0
@@ -100,6 +144,11 @@ class HighestRateScheduler(Scheduler):
         ordered = sorted(ctx.queries, key=self.productivity, reverse=True)
         return Plan([Allocation(q) for q in ordered], mode="priority")
 
+    def explain_plan(
+        self, ctx: SchedulerContext, plan: Plan
+    ) -> "List[QueryDecision]":
+        return _explain_scored(plan, "hr-productivity", self.productivity)
+
 
 class StreamBoxScheduler(Scheduler):
     """StreamBox: earliest upcoming window deadline first.
@@ -120,6 +169,14 @@ class StreamBoxScheduler(Scheduler):
 
         ordered = sorted(ctx.queries, key=key)
         return Plan([Allocation(q) for q in ordered], mode="priority")
+
+    def explain_plan(
+        self, ctx: SchedulerContext, plan: Plan
+    ) -> "List[QueryDecision]":
+        # score: the pending window deadline the ranking used
+        return _explain_scored(
+            plan, "sbox-deadline", lambda q: q.next_window_deadline()
+        )
 
 
 ALL_BASELINES = {

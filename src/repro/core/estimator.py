@@ -82,7 +82,22 @@ class SwmIngestionEstimator:
 
     def delay_moments(self, progress: StreamProgress) -> tuple:
         """(mu, chi) averaged over the last ``h`` epochs plus the in-flight
-        epoch's observations (the two branches of Eqs. 3-4)."""
+        epoch's observations (the two branches of Eqs. 3-4).
+
+        Cold start: before the stream has produced a single delay
+        observation or finalized epoch there is no history to average
+        (previously this degenerated to a meaningless all-zero estimate).
+        The defined contract is to fall back to the stream's watermark
+        period as the expected delay — a watermark can be at most one
+        period "fresher" than the state it sweeps, making the period a
+        sensible pessimistic prior — with zero spread, which
+        :meth:`delay_std` floors at ``_MIN_STD_MS``. The fallback is
+        replaced by measured moments as soon as the first observation
+        arrives.
+        """
+        if not progress.has_observations:
+            period = progress.watermark_period_ms
+            return period, period * period
         mus = progress.mu_history()[-self.history:]
         chis = progress.chi_history()[-self.history:]
         cur_mu, cur_chi = progress.current_epoch_mean()

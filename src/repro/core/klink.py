@@ -15,7 +15,10 @@ half of the consumed memory is freed or a time budget elapses.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.audit import QueryDecision
 
 from repro.core.estimator import SwmEstimate, SwmIngestionEstimator
 from repro.core.memory_policy import best_prefix
@@ -207,6 +210,74 @@ class KlinkScheduler(Scheduler):
 
     def overhead_ms(self, ctx: SchedulerContext) -> float:
         return self._last_overhead_ms
+
+    # -- observability --------------------------------------------------------
+
+    def _delay_profile(
+        self, query: Query
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """(mean, std) of the estimated SWM network delay across the
+        query's input streams (averaged for joins, Sec. 3.3)."""
+        means: List[float] = []
+        stds: List[float] = []
+        for binding in query.bindings:
+            progress = binding.progress
+            if progress is None:
+                continue
+            mu, _ = self.estimator.delay_moments(progress)
+            means.append(mu)
+            stds.append(self.estimator.delay_std(progress))
+        if not means:
+            return None, None
+        return sum(means) / len(means), sum(stds) / len(stds)
+
+    def explain_plan(
+        self, ctx: SchedulerContext, plan: Plan
+    ) -> "List[QueryDecision]":
+        """Audit-trail explanation: why each query holds its rank.
+
+        Reasons: ``memory-release`` / ``memory-mode-full`` while the
+        memory-management episode is active (Sec. 3.4), ``overdue-swm``
+        for EDF-ranked queries whose ingested SWM awaits processing,
+        ``no-deadline`` for deadline-free queries (infinite slack), and
+        ``slack-order`` for the normal least-expected-slack ranking.
+        """
+        from repro.obs.audit import QueryDecision
+
+        decisions: List[QueryDecision] = []
+        for rank, alloc in enumerate(plan.allocations):
+            query = alloc.query
+            slack = self.last_slacks.get(query.query_id)
+            finite_slack = (
+                slack if slack is not None and math.isfinite(slack) else None
+            )
+            if self._mm_active:
+                reason = (
+                    "memory-release"
+                    if alloc.operators is not None
+                    else "memory-mode-full"
+                )
+            elif slack is not None and math.isinf(slack):
+                reason = "no-deadline"
+            elif self._pending_swm_slack(query, ctx.now) is not None:
+                reason = "overdue-swm"
+            else:
+                reason = "slack-order"
+            mean, std = self._delay_profile(query)
+            decisions.append(
+                QueryDecision(
+                    query_id=query.query_id,
+                    rank=rank,
+                    reason=reason,
+                    slack_ms=finite_slack,
+                    swm_delay_mean_ms=mean,
+                    swm_delay_std_ms=std,
+                    score=finite_slack,
+                    memory_bytes=query.memory_bytes,
+                    queued_events=query.queued_events,
+                )
+            )
+        return decisions
 
     def reset(self) -> None:
         self._mm_active = False

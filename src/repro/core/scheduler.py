@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.spe.engine
+    from repro.obs.audit import QueryDecision
     from repro.spe.operators import Operator
     from repro.spe.query import Query
 
@@ -118,6 +119,34 @@ class Scheduler(abc.ABC):
     def overhead_ms(self, ctx: SchedulerContext) -> float:
         """CPU cost of running the policy itself this cycle."""
         return self.per_query_overhead_ms * len(ctx.queries)
+
+    # -- observability (repro.obs DecisionExplainer protocol) ----------------
+
+    def explain_plan(
+        self, ctx: SchedulerContext, plan: Plan
+    ) -> "List[QueryDecision]":
+        """Explain a plan for the scheduler-decision audit trail.
+
+        Called by :class:`repro.obs.audit.AuditLog` immediately after
+        :meth:`plan` within the same cycle, so per-cycle diagnostic state
+        is still consistent. The base implementation reports the plan's
+        allocation order with a generic reason; policies override it to
+        expose their actual ranking key (slack, arrival, productivity,
+        deadline, released memory).
+        """
+        from repro.obs.audit import QueryDecision
+
+        reason = "processor-share" if plan.mode == "share" else "priority-order"
+        return [
+            QueryDecision(
+                query_id=alloc.query.query_id,
+                rank=rank,
+                reason=reason,
+                memory_bytes=alloc.query.memory_bytes,
+                queued_events=alloc.query.queued_events,
+            )
+            for rank, alloc in enumerate(plan.allocations)
+        ]
 
     def reset(self) -> None:
         """Clear any cross-cycle state (called between experiment runs)."""

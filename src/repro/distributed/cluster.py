@@ -20,6 +20,7 @@ from repro.core.klink import KlinkScheduler
 from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
 from repro.core.slack import expected_slack, interval_steps
 from repro.distributed.forwarding import ForwardingBoard, QueryInfo
+from repro.obs.audit import explain_with_fallback
 from repro.distributed.placement import PhysicalPlan
 from repro.spe.engine import Engine
 from repro.spe.memory import MemoryConfig
@@ -114,6 +115,9 @@ class DistributedEngine(Engine):
         memory: MemoryConfig | None = None,
         seed: int = 0,
         rpc_latency_ms: float = 2.0,
+        tracer=None,
+        audit=None,
+        profiler=None,
         faults=None,
         invariants=None,
         validate: bool = True,
@@ -132,6 +136,9 @@ class DistributedEngine(Engine):
             cycle_ms=cycle_ms,
             memory=memory,
             seed=seed,
+            tracer=tracer,
+            audit=audit,
+            profiler=profiler,
             faults=faults,
             invariants=invariants,
             validate=validate,
@@ -249,10 +256,16 @@ class DistributedEngine(Engine):
         used_total = 0.0
         overhead_total = 0.0
         plans = []
+        node_records = []  # (node, scheduler, plan, decisions, used, overhead)
         for node, scheduler in enumerate(self.node_schedulers):
             if node in down_nodes:
                 continue  # a failed node runs neither its policy nor its tasks
             plan = scheduler.plan(ctx)
+            decisions = (
+                explain_with_fallback(scheduler, ctx, plan)
+                if self.audit is not None
+                else []
+            )
             plans.append(plan)
             throttle = throttle or plan.throttle_ingestion
             overhead = plan.overhead_ms + scheduler.overhead_ms(ctx)
@@ -262,17 +275,49 @@ class DistributedEngine(Engine):
                 0.0, (self.cores_per_node * self.cycle_ms - overhead) * (1.0 - tax)
             )
             localized = self._localize(plan, node)
-            used_total += self._execute_plan(localized, budget)
+            used = self._execute_plan(localized, budget)
+            used_total += used
+            node_records.append(
+                (node, scheduler, plan, decisions, used, overhead)
+            )
         self._throttle_requested = throttle
         self.metrics.scheduler_overhead_ms += overhead_total
         self.metrics.busy_cpu_ms += used_total
         self._drain_sink_metrics()
         self._sample_utilization(used_total + overhead_total)
+        cycle_index = self.metrics.cycles
         self.metrics.cycles += 1
         if self.invariants is not None:
             self.invariants.on_cycle(
                 self, plans=plans, cpu_used_ms=used_total + overhead_total
             )
+        if self.tracer is not None and plans:
+            self.tracer.on_cycle(
+                time=now,
+                memory_utilization=ctx.memory_utilization,
+                cpu_used_ms=used_total,
+                overhead_ms=overhead_total,
+                backpressured=backpressured,
+                plan=plans[0],
+            )
+        if self.profiler is not None:
+            self.profiler.on_cycle(self.queries)
+        if self.audit is not None:
+            # one audit record per live node: each node's policy ranked the
+            # full query set independently (decentralized scheduling, Sec. 4)
+            for node, scheduler, plan, decisions, used, overhead in node_records:
+                self.audit.on_cycle(
+                    time=now,
+                    cycle=cycle_index,
+                    scheduler=scheduler,
+                    ctx=ctx,
+                    plan=plan,
+                    backpressured=backpressured,
+                    cpu_used_ms=used,
+                    overhead_ms=overhead,
+                    node=node,
+                    decisions=decisions,
+                )
 
     def _localize(self, plan: Plan, node: int) -> Plan:
         """Restrict a node's plan to the operators hosted on that node."""

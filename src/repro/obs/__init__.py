@@ -1,0 +1,83 @@
+"""repro.obs — observability: audit trail, profiling, exporters, reports.
+
+The subsystem that lets a run *prove* its claims:
+
+* :mod:`repro.obs.audit` — per-cycle scheduler-decision audit log with
+  machine-readable reasons, via the :class:`DecisionExplainer` protocol
+  every policy in :mod:`repro.core` implements;
+* :mod:`repro.obs.profile` — per-operator and per-chain profiling
+  (simulated CPU-ms, events in/out, queue/state high-water marks);
+* :mod:`repro.obs.export` — bounded-memory streaming JSONL/CSV writers
+  and the run-trace container format;
+* :mod:`repro.obs.report` — ``repro-bench report``'s builder/renderer;
+* :mod:`repro.obs.schema` — documented schemas + validators (CI-checked).
+
+Usage::
+
+    from repro.obs import AuditLog, OperatorProfiler
+
+    audit = AuditLog(max_rows=10_000)
+    profiler = OperatorProfiler()
+    engine = Engine(queries, KlinkScheduler(), audit=audit, profiler=profiler)
+    metrics = engine.run(60_000.0)
+    audit.to_jsonl("decisions.jsonl")
+    for profile in metrics.operator_profiles:
+        print(profile.name, profile.cpu_ms)
+"""
+
+from repro.obs.audit import (
+    AuditLog,
+    DecisionExplainer,
+    DecisionRecord,
+    KNOWN_REASONS,
+    QueryDecision,
+    explain_with_fallback,
+)
+from repro.obs.export import (
+    CsvWriter,
+    JsonlWriter,
+    SCHEMA_VERSION,
+    Trace,
+    TraceWriter,
+    dumps_line,
+    jsonify,
+    read_trace,
+)
+from repro.obs.profile import ChainProfile, OperatorProfile, OperatorProfiler
+from repro.obs.report import Episode, RunReport, build_report, render_text
+from repro.obs.schema import (
+    REPORT_SCHEMA,
+    SchemaError,
+    validate_cycle,
+    validate_operator,
+    validate_report,
+)
+
+__all__ = [
+    "AuditLog",
+    "DecisionExplainer",
+    "DecisionRecord",
+    "QueryDecision",
+    "KNOWN_REASONS",
+    "explain_with_fallback",
+    "OperatorProfile",
+    "ChainProfile",
+    "OperatorProfiler",
+    "JsonlWriter",
+    "CsvWriter",
+    "TraceWriter",
+    "Trace",
+    "read_trace",
+    "dumps_line",
+    "jsonify",
+    "SCHEMA_VERSION",
+    "RunReport",
+    "Episode",
+    "build_report",
+    "render_text",
+    "SchemaError",
+    "REPORT_SCHEMA",
+    "validate_report",
+    "validate_cycle",
+    "validate_operator",
+]

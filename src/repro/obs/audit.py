@@ -1,0 +1,291 @@
+"""Scheduler-decision audit trail.
+
+The paper's whole argument is that scheduling *decisions* driven by SWM
+delay estimates beat arrival-order and round-robin policies; the audit
+log is what lets a run substantiate that claim. Each scheduling cycle it
+records, per query, the policy's ranking together with a
+machine-readable *reason* (least-slack order, memory-mode release,
+overdue SWM, ...) and the runtime inputs the decision was based on: the
+slack estimate, the estimated SWM delay mean/std, memory bytes, and
+queued events.
+
+The engine calls :meth:`AuditLog.on_cycle` once per cycle (per node in
+the distributed engine); the log asks the active policy to *explain*
+its plan through the :class:`DecisionExplainer` protocol — every policy
+in :mod:`repro.core` implements ``explain_plan`` — and stores one
+:class:`DecisionRecord`. Memory is bounded: records live in a
+``deque(maxlen=max_rows)`` (the ``CycleTracer`` approach), and an
+optional ``stream`` (any object with a ``write(dict)`` method, e.g. a
+:class:`~repro.obs.export.TraceWriter`) receives every record as it is
+produced for unbounded-duration runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.obs.export import JsonlWriter, dumps_line
+
+#: machine-readable decision reasons emitted by the shipped policies
+KNOWN_REASONS = (
+    "slack-order",        # Klink: least-expected-slack priority order
+    "overdue-swm",        # Klink: ingested-but-unprocessed SWM, EDF order
+    "no-deadline",        # Klink: no downstream window deadline to protect
+    "memory-release",     # Klink MM: prefix run releasing in-flight memory
+    "memory-mode-full",   # Klink MM: no worthwhile prefix, full pipeline
+    "processor-share",    # Default: fair share, no prioritization
+    "priority-order",     # generic priority plan (base fallback)
+    "fcfs-oldest-arrival",
+    "rr-rotation",
+    "hr-productivity",
+    "sbox-deadline",
+)
+
+
+@dataclass(frozen=True)
+class QueryDecision:
+    """One query's position in a cycle's plan, and why.
+
+    ``score`` carries the policy-specific ranking key (arrival time for
+    FCFS, productivity for HR, deadline for SBox, released bytes for
+    Klink's memory mode); ``slack_ms`` and the SWM delay moments are
+    filled by slack-driven policies.
+    """
+
+    query_id: str
+    rank: int
+    reason: str
+    slack_ms: Optional[float] = None
+    swm_delay_mean_ms: Optional[float] = None
+    swm_delay_std_ms: Optional[float] = None
+    score: Optional[float] = None
+    memory_bytes: float = 0.0
+    queued_events: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Fixed-key-order dict (stable JSONL serialization)."""
+        return {
+            "query_id": self.query_id,
+            "rank": self.rank,
+            "reason": self.reason,
+            "slack_ms": self.slack_ms,
+            "swm_delay_mean_ms": self.swm_delay_mean_ms,
+            "swm_delay_std_ms": self.swm_delay_std_ms,
+            "score": self.score,
+            "memory_bytes": self.memory_bytes,
+            "queued_events": self.queued_events,
+        }
+
+
+@runtime_checkable
+class DecisionExplainer(Protocol):
+    """Protocol a policy implements to explain its plans.
+
+    ``explain_plan(ctx, plan)`` is called by the audit log immediately
+    after ``plan(ctx)`` within the same scheduling cycle, so any
+    per-cycle diagnostic state the policy keeps (e.g. Klink's
+    ``last_slacks``) is still consistent with the plan.
+    """
+
+    def explain_plan(self, ctx: Any, plan: Any) -> List[QueryDecision]:
+        ...
+
+
+@dataclass
+class DecisionRecord:
+    """One scheduling cycle's decision, with full per-query context."""
+
+    time: float
+    cycle: int
+    node: int
+    policy: str
+    mode: str
+    backpressured: bool
+    throttled: bool
+    memory_utilization: float
+    cpu_used_ms: float
+    overhead_ms: float
+    decisions: List[QueryDecision] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "cycle": self.cycle,
+            "node": self.node,
+            "policy": self.policy,
+            "mode": self.mode,
+            "backpressured": self.backpressured,
+            "throttled": self.throttled,
+            "memory_utilization": self.memory_utilization,
+            "cpu_used_ms": self.cpu_used_ms,
+            "overhead_ms": self.overhead_ms,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+    def head(self) -> Optional[QueryDecision]:
+        """The top-ranked decision (None for an empty plan)."""
+        return self.decisions[0] if self.decisions else None
+
+
+def explain_with_fallback(scheduler: Any, ctx: Any, plan: Any) -> List[QueryDecision]:
+    """Ask the policy to explain its plan; fall back to plan order.
+
+    Third-party policies that predate the protocol still get a usable
+    audit trail: rank from allocation order, reason from the plan mode.
+    """
+    if isinstance(scheduler, DecisionExplainer):
+        return scheduler.explain_plan(ctx, plan)
+    reason = "processor-share" if plan.mode == "share" else "priority-order"
+    return [
+        QueryDecision(
+            query_id=alloc.query.query_id,
+            rank=rank,
+            reason=reason,
+            memory_bytes=alloc.query.memory_bytes,
+            queued_events=alloc.query.queued_events,
+        )
+        for rank, alloc in enumerate(plan.allocations)
+    ]
+
+
+class AuditLog:
+    """Bounded in-memory log of scheduler decisions, optionally streamed.
+
+    Attach to an engine via ``Engine(..., audit=AuditLog())``. Two runs
+    of the same seeded configuration produce byte-identical JSONL
+    exports (the simulation is deterministic and serialization is
+    insertion-ordered with fixed float formatting).
+    """
+
+    def __init__(self, max_rows: int = 50_000, stream: Any = None) -> None:
+        if max_rows < 1:
+            raise ValueError(f"need at least one row: {max_rows}")
+        self.max_rows = max_rows
+        self.stream = stream
+        self.records_seen = 0
+        self._rows: Deque[DecisionRecord] = deque(maxlen=max_rows)
+
+    # -- engine-facing hook --------------------------------------------------
+
+    def on_cycle(
+        self,
+        *,
+        time: float,
+        cycle: int,
+        scheduler: Any,
+        ctx: Any,
+        plan: Any,
+        backpressured: bool,
+        cpu_used_ms: float,
+        overhead_ms: float,
+        node: int = 0,
+        decisions: Optional[List[QueryDecision]] = None,
+    ) -> DecisionRecord:
+        """Record one cycle. ``decisions`` lets the engine pass
+        explanations captured at *plan* time (before execution drained
+        the queues the policy ranked on); when omitted, the policy is
+        asked to explain the plan now."""
+        if decisions is None:
+            decisions = explain_with_fallback(scheduler, ctx, plan)
+        record = DecisionRecord(
+            time=time,
+            cycle=cycle,
+            node=node,
+            policy=str(getattr(scheduler, "name", type(scheduler).__name__)),
+            mode=str(plan.mode),
+            backpressured=bool(backpressured),
+            throttled=bool(plan.throttle_ingestion),
+            memory_utilization=float(ctx.memory_utilization),
+            cpu_used_ms=float(cpu_used_ms),
+            overhead_ms=float(overhead_ms),
+            decisions=decisions,
+        )
+        self._rows.append(record)
+        self.records_seen += 1
+        if self.stream is not None:
+            self.stream.write(record.to_dict())
+        return record
+
+    # -- consumption ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> Sequence[DecisionRecord]:
+        return tuple(self._rows)
+
+    def last(self) -> Optional[DecisionRecord]:
+        return self._rows[-1] if self._rows else None
+
+    def reason_counts(self, head_only: bool = False) -> Dict[str, int]:
+        """Occurrences of each decision reason across retained records."""
+        counts: Counter[str] = Counter()
+        for record in self._rows:
+            decisions: Sequence[QueryDecision] = record.decisions
+            if head_only:
+                h = record.head()
+                decisions = [h] if h is not None else []
+            counts.update(d.reason for d in decisions)
+        return dict(sorted(counts.items()))
+
+    def head_query_counts(self) -> Dict[str, int]:
+        """How often each query was ranked first (who the policy favours)."""
+        counts: Counter[str] = Counter()
+        for record in self._rows:
+            h = record.head()
+            if h is not None:
+                counts[h.query_id] += 1
+        return dict(sorted(counts.items()))
+
+    def mode_episodes(self) -> List[Tuple[float, float, str]]:
+        """(start, end, kind) spans for throttle/backpressure conditions.
+
+        ``kind`` is ``"backpressure"`` or ``"throttle"``; overlapping
+        conditions produce separate spans per kind.
+        """
+        episodes: List[Tuple[float, float, str]] = []
+        for kind in ("backpressure", "throttle"):
+            start: Optional[float] = None
+            prev_time: Optional[float] = None
+            for record in self._rows:
+                active = (
+                    record.backpressured
+                    if kind == "backpressure"
+                    else record.throttled
+                )
+                if active and start is None:
+                    start = record.time
+                elif not active and start is not None:
+                    assert prev_time is not None
+                    episodes.append((start, prev_time, kind))
+                    start = None
+                prev_time = record.time
+            if start is not None and prev_time is not None:
+                episodes.append((start, prev_time, kind))
+        episodes.sort(key=lambda e: (e[0], e[2]))
+        return episodes
+
+    def to_jsonl(self, path: str) -> None:
+        """Export retained records as deterministic JSONL."""
+        with JsonlWriter(path) as writer:
+            for record in self._rows:
+                writer.write(record.to_dict())
+
+    def to_jsonl_str(self) -> str:
+        """Retained records as one JSONL string (determinism tests)."""
+        return "".join(
+            dumps_line(record.to_dict()) + "\n" for record in self._rows
+        )

@@ -1,0 +1,220 @@
+"""Streaming trace exporters with bounded memory.
+
+The in-memory side of observability (``AuditLog``, ``CycleTracer``)
+keeps a bounded ``deque`` of recent rows; these writers are the
+unbounded-duration counterpart: rows are serialized to disk as they are
+produced, so a multi-hour simulated run can be traced without the trace
+ever living in memory.
+
+Two low-level writers (:class:`JsonlWriter`, :class:`CsvWriter`) plus
+the *run trace* container format used by ``repro-bench report``:
+
+one JSONL file, one record per line, discriminated by a ``type`` field::
+
+    {"type": "meta", "schema_version": 1, "workload": "ysb", ...}
+    {"type": "cycle", "time": 120.0, "decisions": [...], ...}   # repeated
+    {"type": "operator", "query_id": "ysb-0", "name": ..., ...} # repeated
+    {"type": "chain", "query_id": "ysb-0", ...}                 # repeated
+    {"type": "summary", "mean_latency_ms": ..., "latency_cdf": [...]}
+
+Serialization is deterministic: dictionaries are written in insertion
+order with fixed separators, and non-finite floats are mapped to
+``null`` (JSON has no NaN/Infinity), so two runs with the same seed
+produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Mapping, Optional, Sequence
+
+#: version of the trace/report container format (bump on breaking change)
+SCHEMA_VERSION = 1
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert a value into strictly-JSON-serializable form.
+
+    Non-finite floats become ``None`` (strict JSON has no ``NaN`` or
+    ``Infinity``); mappings and sequences are converted recursively with
+    key order preserved.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+def dumps_line(row: Mapping[str, Any]) -> str:
+    """One deterministic JSONL line (no trailing newline)."""
+    return json.dumps(jsonify(dict(row)), separators=(",", ":"), allow_nan=False)
+
+
+class JsonlWriter:
+    """Appends JSON objects to a file, one per line, as they arrive.
+
+    Memory is bounded by the serialization of a single row; ``flush_every``
+    trades write syscalls against loss-on-crash.
+    """
+
+    def __init__(self, path: str, flush_every: int = 256) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush interval must be >= 1: {flush_every}")
+        self.path = path
+        self.flush_every = flush_every
+        self.rows_written = 0
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def write(self, row: Mapping[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError(f"writer already closed: {self.path}")
+        self._fh.write(dumps_line(row))
+        self._fh.write("\n")
+        self.rows_written += 1
+        if self.rows_written % self.flush_every == 0:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class CsvWriter:
+    """Appends fixed-schema CSV rows to a file as they arrive."""
+
+    def __init__(self, path: str, fields: Sequence[str], flush_every: int = 256) -> None:
+        if not fields:
+            raise ValueError("CSV writer needs at least one field")
+        if flush_every < 1:
+            raise ValueError(f"flush interval must be >= 1: {flush_every}")
+        self.path = path
+        self.fields = list(fields)
+        self.flush_every = flush_every
+        self.rows_written = 0
+        self._fh: Optional[IO[str]] = open(path, "w", newline="", encoding="utf-8")
+        self._writer = csv.DictWriter(
+            self._fh, fieldnames=self.fields, extrasaction="ignore"
+        )
+        self._writer.writeheader()
+
+    def write(self, row: Mapping[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError(f"writer already closed: {self.path}")
+        self._writer.writerow({k: row.get(k, "") for k in self.fields})
+        self.rows_written += 1
+        if self.rows_written % self.flush_every == 0:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CsvWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+@dataclass
+class Trace:
+    """A parsed (or in-memory) run trace: the input of report building."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    cycles: List[Dict[str, Any]] = field(default_factory=list)
+    operators: List[Dict[str, Any]] = field(default_factory=list)
+    chains: List[Dict[str, Any]] = field(default_factory=list)
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceWriter:
+    """Streams a run trace to disk while the engine runs.
+
+    Pass an instance as the ``stream`` of an
+    :class:`~repro.obs.audit.AuditLog`: every cycle's decision record goes
+    straight to disk tagged ``type=cycle``. Call :meth:`finalize` after
+    the run with the per-operator profiles and the metrics summary.
+    """
+
+    def __init__(self, path: str, meta: Mapping[str, Any]) -> None:
+        self._writer = JsonlWriter(path)
+        head: Dict[str, Any] = {"type": "meta", "schema_version": SCHEMA_VERSION}
+        head.update(meta)
+        self._writer.write(head)
+        self._finalized = False
+
+    def write(self, row: Mapping[str, Any]) -> None:
+        """Stream hook for AuditLog: one scheduling-cycle record."""
+        tagged: Dict[str, Any] = {"type": "cycle"}
+        tagged.update(row)
+        self._writer.write(tagged)
+
+    def finalize(
+        self,
+        *,
+        operators: Sequence[Mapping[str, Any]] = (),
+        chains: Sequence[Mapping[str, Any]] = (),
+        summary: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Append the end-of-run records and close the file."""
+        if self._finalized:
+            return
+        for row in operators:
+            tagged: Dict[str, Any] = {"type": "operator"}
+            tagged.update(row)
+            self._writer.write(tagged)
+        for row in chains:
+            tagged = {"type": "chain"}
+            tagged.update(row)
+            self._writer.write(tagged)
+        if summary is not None:
+            tagged = {"type": "summary"}
+            tagged.update(summary)
+            self._writer.write(tagged)
+        self._writer.close()
+        self._finalized = True
+
+    def close(self) -> None:
+        self.finalize()
+
+
+def read_trace(path: str) -> Trace:
+    """Parse a run-trace JSONL file back into a :class:`Trace`."""
+    trace = Trace()
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            kind = row.pop("type", None)
+            if kind == "meta":
+                trace.meta = row
+            elif kind == "cycle":
+                trace.cycles.append(row)
+            elif kind == "operator":
+                trace.operators.append(row)
+            elif kind == "chain":
+                trace.chains.append(row)
+            elif kind == "summary":
+                trace.summary = row
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return trace

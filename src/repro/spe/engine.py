@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
+from repro.obs.audit import explain_with_fallback
 from repro.spe.events import EventBatch, LatencyMarker, Watermark
 from repro.spe.memory import MemoryConfig, MemoryModel
 from repro.spe.metrics import RunMetrics, UtilizationSample
@@ -59,6 +60,8 @@ class Engine:
         memory: MemoryConfig | None = None,
         seed: int = 0,
         tracer=None,
+        audit=None,
+        profiler=None,
         faults=None,
         invariants=None,
         validate: bool = True,
@@ -82,6 +85,10 @@ class Engine:
         self.cycle_ms = float(cycle_ms)
         self.memory = MemoryModel(memory)
         self.tracer = tracer
+        #: optional scheduler-decision audit trail (repro.obs.AuditLog)
+        self.audit = audit
+        #: optional per-operator profiler (repro.obs.OperatorProfiler)
+        self.profiler = profiler
         #: optional deterministic fault schedule (repro.faults.FaultPlan)
         self.faults = faults
         #: optional runtime invariant checker (repro.faults.InvariantMonitor)
@@ -417,6 +424,8 @@ class Engine:
         self.metrics.late_events_dropped = sum(
             op.stats.late_events_dropped for q in self.queries for op in q.operators
         )
+        if self.profiler is not None:
+            self.metrics.operator_profiles = self.profiler.profiles(self.queries)
         if self.invariants is not None:
             self.invariants.finalize(self)
             self.metrics.invariant_violations = self.invariants.total_violations
@@ -456,10 +465,19 @@ class Engine:
             ctx = self._collect()
             overhead = 0.0
             used = 0.0
+            decisions: list = []
         else:
             self._deliver_ingestions(now, backpressured)
             ctx = self._collect()
             plan = self.scheduler.plan(ctx)
+            # Explanations are captured at *plan* time: policies that rank
+            # on live queue state (FCFS arrival, HR productivity) must be
+            # read before execution drains the queues they ranked on.
+            decisions = (
+                explain_with_fallback(self.scheduler, ctx, plan)
+                if self.audit is not None
+                else []
+            )
             self._throttle_requested = plan.throttle_ingestion
             overhead = plan.overhead_ms + self.scheduler.overhead_ms(ctx)
             self.metrics.scheduler_overhead_ms += overhead
@@ -470,6 +488,7 @@ class Engine:
             self.metrics.busy_cpu_ms += used
         self._drain_sink_metrics()
         self._sample_utilization(used + overhead)
+        cycle_index = self.metrics.cycles
         self.metrics.cycles += 1
         if self.invariants is not None:
             self.invariants.on_cycle(
@@ -483,4 +502,18 @@ class Engine:
                 overhead_ms=overhead,
                 backpressured=backpressured,
                 plan=plan,
+            )
+        if self.profiler is not None:
+            self.profiler.on_cycle(self.queries)
+        if self.audit is not None:
+            self.audit.on_cycle(
+                time=now,
+                cycle=cycle_index,
+                scheduler=self.scheduler,
+                ctx=ctx,
+                plan=plan,
+                backpressured=backpressured,
+                cpu_used_ms=used,
+                overhead_ms=overhead,
+                decisions=decisions,
             )

@@ -73,6 +73,13 @@ class MemoryConfig:
             raise ValueError(
                 f"tax max must be in [0, 1): {self.pressure_tax_max}"
             )
+        if self.per_query_bound_fraction is not None and not (
+            0 < self.per_query_bound_fraction <= 1
+        ):
+            raise ValueError(
+                "per-query bound fraction must be in (0, 1]: "
+                f"{self.per_query_bound_fraction}"
+            )
 
 
 class MemoryModel:

@@ -18,25 +18,41 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import OperatorProfile
+
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Percentile with linear interpolation; NaN for empty input."""
-    if not values:
+    """Percentile with linear interpolation; NaN for empty input.
+
+    Accepts any array-like (list, tuple, numpy array, generator-backed
+    sequence); emptiness is tested by length, not truthiness, because
+    ``if not array`` is ambiguous for numpy arrays with more than one
+    element.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
         return math.nan
-    return float(np.percentile(np.asarray(values, dtype=float), pct))
+    return float(np.percentile(arr, pct))
 
 
 def cdf_points(values: Sequence[float], pcts: Iterable[float]) -> List[Tuple[float, float]]:
-    """(percentile, latency) pairs for CDF figures (Figs. 6b, 7c, 7d)."""
-    arr = np.asarray(sorted(values), dtype=float)
-    out = []
-    for pct in pcts:
-        out.append((pct, float(np.percentile(arr, pct)) if len(arr) else math.nan))
-    return out
+    """(percentile, latency) pairs for CDF figures (Figs. 6b, 7c, 7d).
+
+    All requested percentiles are computed in one vectorized
+    ``np.percentile`` call (which handles ordering internally), instead
+    of re-sorting and re-scanning the data once per point.
+    """
+    pct_list = [float(p) for p in pcts]
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0 or not pct_list:
+        return [(p, math.nan) for p in pct_list]
+    qs = np.percentile(arr, pct_list)
+    return [(p, float(v)) for p, v in zip(pct_list, qs)]
 
 
 @dataclass
@@ -71,6 +87,9 @@ class RunMetrics:
     fault_cycles: int = 0  # cycles with >= 1 active fault episode
     watermarks_dropped_by_faults: int = 0
     invariant_violations: int = 0
+    #: per-operator profiles, populated at the end of a run when an
+    #: OperatorProfiler is attached to the engine (repro.obs.profile).
+    operator_profiles: List["OperatorProfile"] = field(default_factory=list)
 
     # -- latency ------------------------------------------------------------
 

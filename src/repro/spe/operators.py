@@ -126,6 +126,11 @@ class Operator:
         return sum(ch.queued_bytes for ch in self.inputs)
 
     @property
+    def state_events(self) -> float:
+        """Events buffered in operator state; stateless ops hold none."""
+        return 0.0
+
+    @property
     def state_bytes(self) -> float:
         """Memory held in operator state (windows); stateless ops hold none."""
         return 0.0

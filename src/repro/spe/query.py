@@ -191,6 +191,14 @@ class StreamProgress:
 
     # -- estimator inputs ----------------------------------------------------
 
+    @property
+    def has_observations(self) -> bool:
+        """True once at least one delay observation or finalized epoch
+        exists. While False, the estimator is in *cold start* and must not
+        trust the zeroed accumulators (see
+        ``SwmIngestionEstimator.delay_moments``)."""
+        return self._delay_weight > 0 or bool(self.epochs)
+
     def current_epoch_mean(self) -> Tuple[float, float]:
         """(mu, chi) for the in-flight epoch: observed data if any, else
         the average over the history (the two cases of Eqs. 3-4)."""

@@ -51,13 +51,18 @@ class CycleTracer:
         "head_queries",
     ]
 
-    def __init__(self, max_rows: int = 100_000, head: int = 4) -> None:
+    def __init__(self, max_rows: int = 100_000, head: int = 4, stream=None) -> None:
         if max_rows < 1:
             raise ValueError(f"need at least one row: {max_rows}")
         if head < 0:
             raise ValueError(f"negative head count: {head}")
         self.head = head
         self._rows: Deque[CycleRecord] = deque(maxlen=max_rows)
+        #: optional row sink with a ``write(dict)`` method (e.g.
+        #: :class:`repro.obs.export.JsonlWriter`): every record is forwarded
+        #: as it is produced, so long runs keep full traces on disk while
+        #: the in-memory deque stays bounded.
+        self.stream = stream
 
     # -- engine-facing hook --------------------------------------------------
 
@@ -71,21 +76,22 @@ class CycleTracer:
         backpressured: bool,
         plan,
     ) -> None:
-        self._rows.append(
-            CycleRecord(
-                time=time,
-                memory_utilization=memory_utilization,
-                cpu_used_ms=cpu_used_ms,
-                overhead_ms=overhead_ms,
-                backpressured=backpressured,
-                plan_mode=plan.mode,
-                throttled=plan.throttle_ingestion,
-                head_queries=[
-                    alloc.query.query_id
-                    for alloc in plan.allocations[: self.head]
-                ],
-            )
+        record = CycleRecord(
+            time=time,
+            memory_utilization=memory_utilization,
+            cpu_used_ms=cpu_used_ms,
+            overhead_ms=overhead_ms,
+            backpressured=backpressured,
+            plan_mode=plan.mode,
+            throttled=plan.throttle_ingestion,
+            head_queries=[
+                alloc.query.query_id
+                for alloc in plan.allocations[: self.head]
+            ],
         )
+        self._rows.append(record)
+        if self.stream is not None:
+            self.stream.write(self._record_dict(record))
 
     # -- consumption ---------------------------------------------------------
 
@@ -115,6 +121,28 @@ class CycleTracer:
         if start is not None:
             spans.append((start, prev_time))
         return spans
+
+    @staticmethod
+    def _record_dict(row: CycleRecord) -> dict:
+        """A record as an insertion-ordered dict (FIELDS order)."""
+        return {
+            "time": row.time,
+            "memory_utilization": row.memory_utilization,
+            "cpu_used_ms": row.cpu_used_ms,
+            "overhead_ms": row.overhead_ms,
+            "backpressured": row.backpressured,
+            "plan_mode": row.plan_mode,
+            "throttled": row.throttled,
+            "head_queries": list(row.head_queries),
+        }
+
+    def to_jsonl(self, path: str) -> None:
+        """Write the retained rows as deterministic JSON lines."""
+        from repro.obs.export import JsonlWriter
+
+        with JsonlWriter(path) as writer:
+            for row in self._rows:
+                writer.write(self._record_dict(row))
 
     def to_csv(self, path: str) -> None:
         with open(path, "w", newline="") as fh:

@@ -117,3 +117,63 @@ class TestEstimateCommand:
         ])
         assert rc == 0
         assert "LR" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def _run_args(self, *extra):
+        return [
+            "report", "--workload", "ysb", "--scheduler", "Klink",
+            "--queries", "2", "--duration", "10", "--cores", "4",
+        ] + list(extra)
+
+    def test_text_report_from_fresh_run(self, capsys):
+        assert main(self._run_args()) == 0
+        out = capsys.readouterr().out
+        assert "run report: ysb/Klink" in out
+        assert "decision timeline" in out
+        assert "hottest operators" in out
+
+    def test_json_report_validates_against_schema(self, capsys):
+        import json
+
+        from repro.obs.schema import validate_report
+
+        assert main(self._run_args("--format", "json", "--check-schema")) == 0
+        out = capsys.readouterr().out
+        validate_report(json.loads(out))
+
+    def test_report_from_saved_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        rc = main([
+            "run", "--workload", "ysb", "--scheduler", "Default",
+            "--queries", "2", "--duration", "10", "--cores", "4",
+            "--trace", str(trace),
+        ])
+        assert rc == 0 and trace.exists()
+        capsys.readouterr()
+        assert main(["report", "--trace", str(trace), "--check-schema"]) == 0
+        out = capsys.readouterr().out
+        assert "run report: ysb/Default" in out
+
+    def test_report_out_file(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "report.json"
+        assert main(self._run_args("--out", str(out_path))) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema_version"] == 1
+
+    def test_save_trace_while_reporting(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self._run_args("--save-trace", str(trace))) == 0
+        assert trace.exists() and trace.stat().st_size > 0
+
+    def test_baseline_policy_reports_too(self, capsys):
+        rc = main([
+            "report", "--workload", "ysb", "--scheduler", "Default",
+            "--queries", "2", "--duration", "10", "--cores", "4",
+            "--check-schema",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "processor-share" in out

@@ -209,3 +209,43 @@ class TestSweepHelper:
         }
         for res in grid.values():
             assert res.metrics.cycles > 0
+
+
+class TestDistributedObservability:
+    def test_per_node_audit_records(self):
+        from repro.obs import AuditLog, OperatorProfiler
+
+        queries = [make_simple_query(f"q{i}") for i in range(4)]
+        plan = PhysicalPlan.locality(queries, 2)
+        audit = AuditLog()
+        profiler = OperatorProfiler()
+        engine = DistributedEngine.with_klink(
+            queries, plan, cores_per_node=2, cycle_ms=100.0,
+            audit=audit, profiler=profiler,
+        )
+        metrics = engine.run(5_000.0)
+        nodes = {r.node for r in audit.rows}
+        assert nodes == {0, 1}  # one record per live node per cycle
+        assert len(audit) == 2 * metrics.cycles
+        for record in audit.rows:
+            assert record.policy == f"Klink@node{record.node}"
+            assert [d.rank for d in record.decisions] == list(
+                range(len(record.decisions))
+            )
+        assert len(metrics.operator_profiles) == sum(
+            len(q.operators) for q in queries
+        )
+
+    def test_distributed_audit_is_deterministic(self):
+        from repro.obs import AuditLog
+
+        def run():
+            queries = [make_simple_query(f"q{i}") for i in range(2)]
+            plan = PhysicalPlan.split(queries, 2, segments=2)
+            audit = AuditLog()
+            DistributedEngine.with_klink(
+                queries, plan, cores_per_node=2, cycle_ms=100.0, audit=audit,
+            ).run(4_000.0)
+            return audit.to_jsonl_str()
+
+        assert run() == run()

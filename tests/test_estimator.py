@@ -170,3 +170,47 @@ class TestEstimate:
         e90 = SwmIngestionEstimator(confidence=90.0).estimate(binding)
         e99 = SwmIngestionEstimator(confidence=99.0).estimate(binding)
         assert (e99.t_max - e99.t_min) > (e90.t_max - e90.t_min)
+
+
+class TestColdStart:
+    """Estimator contract before the first observation (the fallback
+    replaced the old meaningless all-zero moments)."""
+
+    def test_delay_moments_fall_back_to_watermark_period(self):
+        binding = make_binding(period=500.0)
+        est = SwmIngestionEstimator()
+        assert not binding.progress.has_observations
+        mu, chi = est.delay_moments(binding.progress)
+        assert mu == 500.0
+        assert chi == 500.0 * 500.0  # zero spread around the prior
+
+    def test_cold_start_std_is_floored(self):
+        binding = make_binding(period=500.0)
+        est = SwmIngestionEstimator()
+        assert est.delay_std(binding.progress) == 1.0  # _MIN_STD_MS
+
+    def test_first_observation_replaces_fallback(self):
+        binding = make_binding()
+        est = SwmIngestionEstimator()
+        binding.progress.observe_delay(120.0)
+        assert binding.progress.has_observations
+        mu, _ = est.delay_moments(binding.progress)
+        assert mu == pytest.approx(120.0)
+
+    def test_finalized_epoch_counts_as_observation(self):
+        binding = make_binding()
+        binding.progress.observe_delay(80.0)
+        binding.progress.observe_watermark(1000.0, 1100.0)
+        assert binding.progress.has_observations
+        mu, _ = SwmIngestionEstimator().delay_moments(binding.progress)
+        assert mu == pytest.approx(80.0)
+
+    def test_cold_start_estimate_is_finite(self):
+        # The end-to-end estimate built on the fallback must be usable:
+        # finite moments, non-degenerate interval.
+        binding = make_binding(period=500.0)
+        est = SwmIngestionEstimator()
+        e = est.estimate(binding)
+        assert e is not None
+        assert math.isfinite(e.mean) and math.isfinite(e.std)
+        assert e.t_max > e.t_min

@@ -40,6 +40,19 @@ class TestMemoryConfig:
         with pytest.raises(ValueError):
             MemoryConfig(pressure_tax_max=1.0)
 
+    def test_rejects_bad_per_query_bound_fraction(self):
+        # regression: the bound fraction used to skip __post_init__
+        # validation entirely, so 0 or >1 silently produced a config
+        # that could never stall (or always stalled) queries
+        for bad in (0.0, -0.25, 1.5):
+            with pytest.raises(ValueError):
+                MemoryConfig(per_query_bound_fraction=bad)
+
+    def test_accepts_valid_per_query_bound_fraction(self):
+        assert MemoryConfig(per_query_bound_fraction=0.5).per_query_bound_fraction == 0.5
+        assert MemoryConfig(per_query_bound_fraction=1.0).per_query_bound_fraction == 1.0
+        assert MemoryConfig().per_query_bound_fraction is None
+
 
 class TestUtilization:
     def test_used_bytes_sums_queries(self):

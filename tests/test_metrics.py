@@ -30,6 +30,35 @@ class TestPercentileHelpers:
         pts = cdf_points([], [50])
         assert math.isnan(pts[0][1])
 
+    def test_percentile_accepts_numpy_array(self):
+        # regression: `if not values` raises "truth value of an array is
+        # ambiguous" for numpy arrays with more than one element
+        assert percentile(np.array([1.0, 2.0, 3.0]), 50) == 2.0
+
+    def test_percentile_empty_numpy_array_is_nan(self):
+        assert math.isnan(percentile(np.array([]), 50))
+
+    def test_percentile_accepts_tuple_and_generator_backed_input(self):
+        assert percentile((5.0, 1.0, 3.0), 50) == 3.0
+
+    def test_cdf_points_accepts_numpy_array(self):
+        pts = cdf_points(np.array([1.0, 2.0, 3.0, 4.0]), [50])
+        assert pts[0][1] == pytest.approx(2.5)
+
+    def test_cdf_points_empty_numpy_array(self):
+        pts = cdf_points(np.array([]), [25, 75])
+        assert [p for p, _ in pts] == [25, 75]
+        assert all(math.isnan(v) for _, v in pts)
+
+    def test_cdf_points_no_percentiles(self):
+        assert cdf_points([1.0, 2.0], []) == []
+
+    def test_cdf_points_matches_percentile(self):
+        values = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        pts = cdf_points(values, [10, 50, 90])
+        for pct, v in pts:
+            assert v == pytest.approx(percentile(values, pct))
+
 
 class TestRunMetrics:
     def make(self):

@@ -1,0 +1,491 @@
+"""Tests for the observability layer (repro.obs): scheduler-decision
+audit trail, per-operator profiling, streaming exporters, run reports,
+and the documented JSON schemas."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    DefaultScheduler,
+    FCFSScheduler,
+    HighestRateScheduler,
+    RoundRobinScheduler,
+    StreamBoxScheduler,
+)
+from repro.core.classes import ClassBasedScheduler
+from repro.core.klink import KlinkScheduler
+from repro.core.scheduler import Allocation, Plan, SchedulerContext
+from repro.obs import (
+    AuditLog,
+    DecisionExplainer,
+    KNOWN_REASONS,
+    OperatorProfiler,
+    QueryDecision,
+    Trace,
+    TraceWriter,
+    build_report,
+    dumps_line,
+    explain_with_fallback,
+    jsonify,
+    read_trace,
+    render_text,
+)
+from repro.obs.export import CsvWriter, JsonlWriter
+from repro.obs.schema import (
+    SchemaError,
+    validate_cycle,
+    validate_operator,
+    validate_report,
+)
+from repro.spe.engine import Engine
+from tests.helpers import make_simple_query
+
+
+def run_audited(scheduler, *, n_queries=3, duration=6_000.0, seed=1,
+                max_rows=50_000, stream=None, profiler=None):
+    queries = [
+        make_simple_query(f"q{i}", rate_eps=500.0, seed=seed + i)
+        for i in range(n_queries)
+    ]
+    audit = AuditLog(max_rows=max_rows, stream=stream)
+    engine = Engine(queries, scheduler, cores=4, cycle_ms=100.0,
+                    seed=seed, audit=audit, profiler=profiler)
+    metrics = engine.run(duration)
+    return audit, metrics, queries
+
+
+ALL_POLICIES = [
+    KlinkScheduler,
+    DefaultScheduler,
+    FCFSScheduler,
+    RoundRobinScheduler,
+    HighestRateScheduler,
+    StreamBoxScheduler,
+]
+
+
+class TestDecisionExplainers:
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_every_policy_explains_its_plan(self, factory):
+        audit, _, _ = run_audited(factory())
+        assert len(audit) > 0
+        for record in audit.rows:
+            ranks = [d.rank for d in record.decisions]
+            assert ranks == list(range(len(ranks)))
+            for d in record.decisions:
+                assert d.reason in KNOWN_REASONS
+
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_policies_satisfy_protocol(self, factory):
+        assert isinstance(factory(), DecisionExplainer)
+
+    def test_klink_reports_slack_and_delay_moments(self):
+        audit, _, _ = run_audited(KlinkScheduler())
+        late = audit.rows[-1]  # estimator warmed up by the last cycle
+        slacks = [d.slack_ms for d in late.decisions]
+        assert any(s is not None for s in slacks)
+        assert any(d.swm_delay_mean_ms is not None for d in late.decisions)
+        # least-slack order: finite slack values are non-decreasing by rank
+        finite = [s for s in slacks if s is not None]
+        assert finite == sorted(finite)
+
+    def test_default_reports_processor_share(self):
+        audit, _, _ = run_audited(DefaultScheduler())
+        assert set(audit.reason_counts()) == {"processor-share"}
+
+    def test_fcfs_score_is_arrival_time(self):
+        audit, _, _ = run_audited(FCFSScheduler())
+        scored = [
+            d.score
+            for record in audit.rows
+            for d in record.decisions
+            if d.score is not None
+        ]
+        assert scored, "FCFS should expose oldest-arrival scores"
+        assert all(s >= 0 for s in scored)
+
+    def test_class_based_reranks_inner_decisions(self):
+        inner = FCFSScheduler()
+        scheduler = ClassBasedScheduler(inner, {"q0": 1, "q1": 0, "q2": 0})
+        audit, _, _ = run_audited(scheduler)
+        for record in audit.rows:
+            ids = [d.query_id for d in record.decisions]
+            if "q0" in ids:
+                # class 1 always runs after the class-0 queries
+                assert ids.index("q0") == len(ids) - 1
+            assert [d.rank for d in record.decisions] == list(range(len(ids)))
+
+    def test_fallback_for_protocol_less_policy(self):
+        class Opaque:
+            def plan(self, ctx):  # pragma: no cover - not called here
+                raise NotImplementedError
+
+        q = make_simple_query("q0")
+        plan = Plan([Allocation(q)], mode="priority")
+        ctx = SchedulerContext(now=0.0, cycle_ms=100.0, cores=2, queries=[q])
+        decisions = explain_with_fallback(Opaque(), ctx, plan)
+        assert [d.reason for d in decisions] == ["priority-order"]
+
+    def test_klink_memory_mode_reasons(self):
+        q = make_simple_query("q0")
+        scheduler = KlinkScheduler()
+        scheduler._mm_active = True
+        ctx = SchedulerContext(now=0.0, cycle_ms=100.0, cores=2, queries=[q])
+        prefix_plan = Plan([Allocation(q, [q.operators[0]])], mode="priority")
+        full_plan = Plan([Allocation(q)], mode="priority")
+        assert scheduler.explain_plan(ctx, prefix_plan)[0].reason == "memory-release"
+        assert scheduler.explain_plan(ctx, full_plan)[0].reason == "memory-mode-full"
+
+
+class TestAuditLog:
+    def test_rejects_bad_max_rows(self):
+        with pytest.raises(ValueError):
+            AuditLog(max_rows=0)
+
+    def test_eviction_keeps_memory_bounded(self):
+        audit, _, _ = run_audited(DefaultScheduler(), max_rows=5)
+        assert len(audit) == 5
+        assert audit.records_seen > 5
+        # retained rows are the most recent ones
+        cycles = [r.cycle for r in audit.rows]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] == audit.records_seen - 1
+
+    def test_stream_sees_evicted_records(self):
+        collected = []
+
+        class Collector:
+            def write(self, row):
+                collected.append(row)
+
+        audit, _, _ = run_audited(
+            DefaultScheduler(), max_rows=2, stream=Collector()
+        )
+        assert len(collected) == audit.records_seen > 2
+
+    def test_seeded_reruns_are_byte_identical(self):
+        first, _, _ = run_audited(KlinkScheduler(), seed=7)
+        second, _, _ = run_audited(KlinkScheduler(), seed=7)
+        a, b = first.to_jsonl_str(), second.to_jsonl_str()
+        assert a and a == b
+
+    def test_different_configs_differ(self):
+        def run(delay_ms):
+            q = make_simple_query("q0", rate_eps=500.0, delay_ms=delay_ms)
+            audit = AuditLog()
+            Engine([q], KlinkScheduler(), cores=4, cycle_ms=100.0,
+                   seed=1, audit=audit).run(6_000.0)
+            return audit.to_jsonl_str()
+
+        assert run(0.0) != run(200.0)
+
+    def test_jsonl_rows_validate_against_cycle_schema(self, tmp_path):
+        audit, _, _ = run_audited(KlinkScheduler())
+        path = tmp_path / "audit.jsonl"
+        audit.to_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(audit)
+        for line in lines:
+            validate_cycle(json.loads(line))
+
+    def test_head_query_counts_sum_to_rows(self):
+        audit, _, _ = run_audited(KlinkScheduler())
+        assert sum(audit.head_query_counts().values()) == len(audit)
+
+    def test_mode_episodes_from_flags(self):
+        audit = AuditLog(max_rows=10)
+
+        class Stub:
+            name = "stub"
+
+            def plan(self, ctx):  # pragma: no cover
+                raise NotImplementedError
+
+        q = make_simple_query("q0")
+        ctx = SchedulerContext(now=0.0, cycle_ms=100.0, cores=1, queries=[q])
+        for i, bp in enumerate([False, True, True, False]):
+            audit.on_cycle(
+                time=float(i * 100), cycle=i, scheduler=Stub(), ctx=ctx,
+                plan=Plan([Allocation(q)]), backpressured=bp,
+                cpu_used_ms=0.0, overhead_ms=0.0,
+            )
+        assert audit.mode_episodes() == [(100.0, 200.0, "backpressure")]
+
+
+class TestOperatorProfiler:
+    def test_profiles_published_through_run_metrics(self):
+        profiler = OperatorProfiler()
+        _, metrics, queries = run_audited(
+            KlinkScheduler(), profiler=profiler
+        )
+        profiles = metrics.operator_profiles
+        assert len(profiles) == sum(len(q.operators) for q in queries)
+        assert any(p.cpu_ms > 0 for p in profiles)
+        assert any(p.events_in > 0 for p in profiles)
+        for p in profiles:
+            validate_operator(jsonify(p.to_dict()))
+
+    def test_chain_profiles_aggregate_members(self):
+        profiler = OperatorProfiler()
+        _, metrics, queries = run_audited(
+            DefaultScheduler(), profiler=profiler
+        )
+        chains = profiler.chain_profiles(queries)
+        assert [c.query_id for c in chains] == [q.query_id for q in queries]
+        by_query = {}
+        for p in metrics.operator_profiles:
+            by_query[p.query_id] = by_query.get(p.query_id, 0.0) + p.cpu_ms
+        for chain in chains:
+            assert chain.cpu_ms == pytest.approx(by_query[chain.query_id])
+            assert chain.hottest_cpu_ms <= chain.cpu_ms + 1e-9
+
+    def test_high_water_marks_are_maxima(self):
+        profiler = OperatorProfiler()
+        _, metrics, _ = run_audited(DefaultScheduler(), profiler=profiler)
+        assert profiler.cycles_sampled > 0
+        assert all(p.queued_events_hwm >= 0 for p in metrics.operator_profiles)
+        assert any(
+            p.queued_events_hwm > 0 or p.state_bytes_hwm > 0
+            for p in metrics.operator_profiles
+        )
+
+
+class TestExportPrimitives:
+    def test_jsonify_maps_non_finite_to_null(self):
+        out = jsonify({"a": math.nan, "b": [math.inf, 1.0], "c": {"d": -math.inf}})
+        assert out == {"a": None, "b": [None, 1.0], "c": {"d": None}}
+
+    def test_dumps_line_is_compact_and_ordered(self):
+        line = dumps_line({"b": 1, "a": math.nan})
+        assert line == '{"b":1,"a":null}'
+
+    def test_jsonl_writer_bounded_and_reopenable(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        with JsonlWriter(str(path), flush_every=2) as writer:
+            for i in range(5):
+                writer.write({"i": i})
+        assert writer.rows_written == 5
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert rows == [{"i": i} for i in range(5)]
+        with pytest.raises(ValueError):
+            writer.write({"i": 99})
+
+    def test_jsonl_writer_rejects_bad_flush(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlWriter(str(tmp_path / "x.jsonl"), flush_every=0)
+
+    def test_csv_writer_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        with CsvWriter(str(path), ["a", "b"]) as writer:
+            writer.write({"a": 1, "b": 2, "ignored": 3})
+            writer.write({"a": 4})
+        lines = path.read_text().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == "4,"
+
+    def test_csv_writer_needs_fields(self, tmp_path):
+        with pytest.raises(ValueError):
+            CsvWriter(str(tmp_path / "x.csv"), [])
+
+
+class TestTraceContainer:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(str(path), meta={"workload": "ysb"})
+        writer.write({"time": 100.0, "cycle": 0, "decisions": []})
+        writer.finalize(
+            operators=[{"query_id": "q0", "name": "q0.map"}],
+            chains=[{"query_id": "q0"}],
+            summary={"mean_latency_ms": 1.5, "latency_cdf": [[50, 1.0]]},
+        )
+        trace = read_trace(str(path))
+        assert trace.meta["workload"] == "ysb"
+        assert trace.meta["schema_version"] == 1
+        assert len(trace.cycles) == 1 and trace.cycles[0]["cycle"] == 0
+        assert trace.operators[0]["name"] == "q0.map"
+        assert trace.chains[0]["query_id"] == "q0"
+        assert trace.summary["mean_latency_ms"] == 1.5
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(str(path), meta={})
+        writer.finalize(summary={"x": 1})
+        writer.finalize(summary={"x": 2})  # ignored
+        trace = read_trace(str(path))
+        assert trace.summary == {"x": 1}
+
+    def test_read_trace_rejects_unknown_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record type"):
+            read_trace(str(path))
+
+    def test_read_trace_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_trace(str(path))
+
+    def test_audit_streams_into_trace_writer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(str(path), meta={"scheduler": "Klink"})
+        profiler = OperatorProfiler()
+        _, metrics, queries = run_audited(
+            KlinkScheduler(), stream=writer, profiler=profiler, max_rows=3
+        )
+        writer.finalize(
+            operators=[p.to_dict() for p in metrics.operator_profiles],
+            chains=[c.to_dict() for c in profiler.chain_profiles(queries)],
+            summary={"cycles": metrics.cycles},
+        )
+        trace = read_trace(str(path))
+        # the stream received every cycle even though the deque kept 3
+        assert len(trace.cycles) == metrics.cycles > 3
+        assert len(trace.operators) == len(metrics.operator_profiles)
+        for row in trace.cycles:
+            validate_cycle(row)
+
+
+def synthetic_trace():
+    def cycle(i, *, bp=False, reason="slack-order"):
+        return {
+            "time": 100.0 * (i + 1),
+            "cycle": i,
+            "node": 0,
+            "policy": "Klink",
+            "mode": "priority",
+            "backpressured": bp,
+            "throttled": False,
+            "memory_utilization": 0.1,
+            "cpu_used_ms": 10.0,
+            "overhead_ms": 0.5,
+            "decisions": [
+                {
+                    "query_id": "q0",
+                    "rank": 0,
+                    "reason": reason,
+                    "slack_ms": 5.0,
+                    "swm_delay_mean_ms": 100.0,
+                    "swm_delay_std_ms": 1.0,
+                    "score": 5.0,
+                    "memory_bytes": 10.0,
+                    "queued_events": 2.0,
+                }
+            ],
+        }
+
+    cycles = [
+        cycle(0),
+        cycle(1, bp=True),
+        cycle(2, bp=True, reason="memory-release"),
+        cycle(3),
+    ]
+    operator = {
+        "query_id": "q0", "name": "q0.map", "kind": "MapOperator",
+        "cpu_ms": 12.0, "events_in": 100.0, "events_out": 50.0,
+        "watermarks_seen": 3, "panes_fired": 1, "late_events_dropped": 0.0,
+        "queued_events_hwm": 4.0, "queued_bytes_hwm": 256.0,
+        "state_bytes_hwm": 0.0,
+    }
+    chain = {
+        "query_id": "q0", "n_operators": 1, "cpu_ms": 12.0,
+        "events_in": 100.0, "events_delivered": 50.0,
+        "late_events_dropped": 0.0, "queued_events_hwm": 4.0,
+        "memory_bytes_hwm": 256.0, "hottest_operator": "q0.map",
+        "hottest_cpu_ms": 12.0,
+    }
+    summary = {"mean_latency_ms": 123.0, "latency_cdf": [[50.0, 100.0], [99.0, 200.0]]}
+    return Trace(
+        meta={"workload": "ysb", "scheduler": "Klink"},
+        cycles=cycles,
+        operators=[operator],
+        chains=[chain],
+        summary=summary,
+    )
+
+
+class TestRunReport:
+    def test_timeline_counts(self):
+        report = build_report(synthetic_trace())
+        tl = report.decision_timeline
+        assert tl["cycles"] == 4
+        assert tl["backpressure_cycles"] == 2
+        assert tl["reason_counts"] == {"memory-release": 1, "slack-order": 3}
+        assert tl["head_query_counts"] == {"q0": 4}
+
+    def test_episode_detection(self):
+        report = build_report(synthetic_trace())
+        kinds = {(e.kind, e.start, e.end, e.cycles) for e in report.episodes}
+        assert ("backpressure", 200.0, 300.0, 2) in kinds
+        assert ("memory-mode", 300.0, 300.0, 1) in kinds
+
+    def test_latency_cdf_extracted_from_summary(self):
+        report = build_report(synthetic_trace())
+        assert report.latency_cdf == [(50.0, 100.0), (99.0, 200.0)]
+        assert "latency_cdf" not in report.summary
+
+    def test_top_k_limits_operators(self):
+        trace = synthetic_trace()
+        second = dict(trace.operators[0], name="q0.hot", cpu_ms=99.0)
+        trace.operators.append(second)
+        report = build_report(trace, top_k=1)
+        assert [op["name"] for op in report.hottest_operators] == ["q0.hot"]
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            build_report(synthetic_trace(), top_k=0)
+
+    def test_json_output_validates(self):
+        report = build_report(synthetic_trace())
+        validate_report(json.loads(report.to_json()))
+
+    def test_render_text_sections(self):
+        text = render_text(build_report(synthetic_trace()))
+        assert "run report: ysb/Klink" in text
+        assert "decision timeline" in text
+        assert "hottest operators" in text
+        assert "q0.map" in text
+
+    def test_report_from_real_run(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(str(path), meta={"workload": "test", "scheduler": "Klink"})
+        profiler = OperatorProfiler()
+        _, metrics, queries = run_audited(
+            KlinkScheduler(), stream=writer, profiler=profiler
+        )
+        writer.finalize(
+            operators=[p.to_dict() for p in metrics.operator_profiles],
+            chains=[c.to_dict() for c in profiler.chain_profiles(queries)],
+            summary={"latency_cdf": [list(p) for p in metrics.latency_cdf()]},
+        )
+        report = build_report(read_trace(str(path)))
+        validate_report(json.loads(report.to_json()))
+        assert report.decision_timeline["cycles"] == metrics.cycles
+
+
+class TestSchemaValidator:
+    def test_missing_key_reports_path(self):
+        row = synthetic_trace().cycles[0]
+        del row["policy"]
+        with pytest.raises(SchemaError, match=r"\$\.policy"):
+            validate_cycle(row)
+
+    def test_bool_is_not_a_number(self):
+        op = dict(synthetic_trace().operators[0], cpu_ms=True)
+        with pytest.raises(SchemaError, match="bool"):
+            validate_operator(op)
+
+    def test_nested_decision_mismatch(self):
+        row = synthetic_trace().cycles[0]
+        row["decisions"][0]["rank"] = "first"
+        with pytest.raises(SchemaError, match=r"decisions\[0\]\.rank"):
+            validate_cycle(row)
+
+    def test_decision_dict_matches_schema_keys(self):
+        from repro.obs.schema import DECISION_SCHEMA
+
+        d = QueryDecision(query_id="q", rank=0, reason="slack-order")
+        assert list(d.to_dict()) == list(DECISION_SCHEMA)

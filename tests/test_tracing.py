@@ -121,3 +121,43 @@ class TestCsvExport:
         assert len(rows) == len(tracer)
         assert rows[0]["plan_mode"] == "priority"
         assert float(rows[-1]["time"]) == pytest.approx(5_000.0)
+
+
+class TestStreamingAndJsonl:
+    def test_stream_receives_every_row_despite_eviction(self):
+        collected = []
+
+        class Collector:
+            def write(self, row):
+                collected.append(row)
+
+        tracer = CycleTracer(max_rows=3, stream=Collector())
+        traced_run(duration=5_000.0, tracer=tracer)
+        assert len(tracer) == 3  # deque stayed bounded
+        assert len(collected) == 50  # the stream saw all 50 cycles
+        assert [r["time"] for r in collected[:3]] != [
+            row.time for row in tracer.rows
+        ]
+
+    def test_to_jsonl_round_trip(self, tmp_path):
+        import json
+
+        tracer = traced_run(duration=3_000.0)
+        path = tmp_path / "trace.jsonl"
+        tracer.to_jsonl(str(path))
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(rows) == len(tracer)
+        for parsed, kept in zip(rows, tracer.rows):
+            assert parsed["time"] == kept.time
+            assert parsed["plan_mode"] == kept.plan_mode
+            assert parsed["head_queries"] == kept.head_queries
+        assert list(rows[0]) == CycleTracer.FIELDS
+
+    def test_jsonl_is_deterministic_across_seeded_runs(self, tmp_path):
+        paths = []
+        for i in range(2):
+            tracer = traced_run(duration=3_000.0, seed=3)
+            path = tmp_path / f"t{i}.jsonl"
+            tracer.to_jsonl(str(path))
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1]
