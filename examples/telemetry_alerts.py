@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""In-run telemetry: watch an injected slowdown trip the SLO alerts.
+
+Four YSB queries run under Klink while a deterministic
+:class:`~repro.faults.FaultPlan` makes every operator 10x slower between
+simulated seconds 3 and 12. A :class:`~repro.obs.TelemetrySampler`
+rides along on the virtual clock, recording queue depths, watermark
+lag, and recent p99 latency into bounded ring-buffer series, and an
+alert engine evaluates two declarative rules against the live samples:
+
+* ``slo-latency`` — recent p99 delivery latency stays above the 1 s SLO
+  for a sustained second;
+* ``queue-growth`` — some query's queue depth grows strictly for five
+  consecutive samples.
+
+Note when the alarm actually rings: latencies are *withheld* during the
+slowdown (windows cannot fire while their operators crawl), so deadline
+misses and the latency alert surface only after the fault ends, when
+the backlog drains. The queue-growth rule is the early-warning signal
+that fires *during* the episode.
+
+Usage::
+
+    python examples/telemetry_alerts.py
+"""
+
+from repro import WorkloadParams, build_queries
+from repro.core.klink import KlinkScheduler
+from repro.faults import FaultPlan
+from repro.faults.plan import OperatorSlowdown
+from repro.obs import TelemetryConfig, TelemetrySampler, parse_rules
+from repro.spe.engine import Engine
+from repro.spe.memory import GIB, MemoryConfig
+
+DURATION_MS = 25_000.0
+
+RULES = (
+    "slo-latency: latency_recent_p99_ms > 1000 for 1s",
+    "queue-growth: queue_depth growing for 5 samples",
+)
+
+
+def main() -> None:
+    faults = FaultPlan([
+        OperatorSlowdown(start_ms=3_000.0, end_ms=12_000.0, factor=10.0),
+    ])
+    print("Telemetry + alerting on 4 YSB queries (25 sim s, Klink)")
+    print(faults.describe())
+    print("rules:")
+    for text in RULES:
+        print(f"  {text}")
+    print()
+
+    sampler = TelemetrySampler(
+        TelemetryConfig(deadline_slo_ms=1_000.0),
+        rules=parse_rules(RULES),
+    )
+    queries = build_queries("ysb", 4, WorkloadParams(seed=1))
+    engine = Engine(
+        queries, KlinkScheduler(), cores=8, cycle_ms=120.0,
+        memory=MemoryConfig(capacity_bytes=1.0 * GIB),
+        seed=1, faults=faults, telemetry=sampler,
+    )
+    metrics = engine.run(DURATION_MS)
+
+    print(f"{'alert':14s} {'series':32s} {'fired at':>9s} {'cleared':>9s} "
+          f"{'peak value':>11s}")
+    for row in sampler.alert_rows():
+        end = f"{row['end'] / 1000:8.1f}s" if row["end"] is not None else "  open"
+        print(
+            f"{row['rule']:14s} {row['series']:32s} "
+            f"{row['start'] / 1000:8.1f}s {end:>9s} {row['value']:11.1f}"
+        )
+    print()
+    print(f"deadline misses (> 1 s SLO): {metrics.deadline_misses}")
+    print(f"max watermark lag:           "
+          f"{metrics.watermark_lag_max_ms / 1000:.2f}s")
+    print(f"delivered p99 latency:       "
+          f"{metrics.latency_percentile(99) / 1000:.2f}s")
+    print(
+        "\nThe queue-growth alert fires inside the fault window while the"
+        "\nlatency alert waits for the post-fault drain -- queues lead,"
+        "\nlatency lags. 'repro-bench run --telemetry' wires the same"
+        "\nsampler from the CLI; see docs/API.md for the rule grammar."
+    )
+    n_alerts = len(sampler.alert_rows())
+    raise SystemExit(0 if n_alerts else 1)
+
+
+if __name__ == "__main__":
+    main()

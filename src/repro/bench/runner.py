@@ -29,7 +29,17 @@ from repro.core.baselines import (
 from repro.core.klink import KlinkScheduler
 from repro.core.scheduler import Scheduler
 from repro.faults import FaultPlan, InvariantMonitor
-from repro.obs import AuditLog, ChainProfile, OperatorProfiler, Trace, TraceWriter
+from repro.obs import (
+    AuditLog,
+    ChainProfile,
+    OperatorProfiler,
+    TelemetryConfig,
+    TelemetrySampler,
+    Trace,
+    TraceWriter,
+    parse_rules,
+)
+from repro.obs.alerts import DEFAULT_RULE_TEXTS
 from repro.spe.engine import Engine
 from repro.spe.memory import GIB, MemoryConfig
 from repro.spe.metrics import RunMetrics
@@ -96,6 +106,11 @@ class ExperimentConfig:
     profile: bool = False  # attach a per-operator OperatorProfiler
     audit_max_rows: int = 50_000  # AuditLog in-memory bound
     trace_path: Optional[str] = None  # stream a full run trace to this file
+    # in-run telemetry (repro.obs.timeseries); traced runs always sample
+    telemetry: bool = False  # attach a TelemetrySampler
+    telemetry_period_ms: float = 200.0  # virtual-clock sample period
+    deadline_slo_ms: float = 1000.0  # latency above this = deadline miss
+    alert_rules: Tuple[str, ...] = DEFAULT_RULE_TEXTS  # rule texts (hashable)
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -112,6 +127,7 @@ class ExperimentResult:
     monitor: Optional[InvariantMonitor] = None
     audit: Optional[AuditLog] = None
     chain_profiles: List[ChainProfile] = field(default_factory=list)
+    telemetry: Optional[TelemetrySampler] = None
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -133,7 +149,10 @@ class ExperimentResult:
 
 def trace_meta(config: ExperimentConfig) -> Dict[str, object]:
     """The experiment identity recorded in a trace's ``meta`` record."""
+    from repro.obs import SCHEMA_VERSION
+
     return {
+        "schema_version": SCHEMA_VERSION,
         "workload": config.workload,
         "scheduler": config.scheduler,
         "n_queries": config.n_queries,
@@ -163,17 +182,21 @@ def trace_from_result(result: ExperimentResult) -> Trace:
     """Assemble an in-memory run trace from an audited/profiled result.
 
     Requires the experiment to have run with ``audit=True``; operator
-    and chain sections are filled when ``profile=True`` was also set.
+    and chain sections are filled when ``profile=True`` was also set,
+    series/alert sections when ``telemetry=True``.
     """
     if result.audit is None:
         raise ValueError(
             "experiment ran without an audit log; re-run with audit=True"
         )
+    sampler = result.telemetry
     return Trace(
         meta=trace_meta(result.config),
         cycles=[record.to_dict() for record in result.audit.rows],
         operators=[p.to_dict() for p in result.metrics.operator_profiles],
         chains=[c.to_dict() for c in result.chain_profiles],
+        series=sampler.series_rows() if sampler is not None else [],
+        alerts=sampler.alert_rows() if sampler is not None else [],
         summary=trace_summary(result.metrics),
     )
 
@@ -205,6 +228,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     profiler = None
     if config.profile or writer is not None:
         profiler = OperatorProfiler()
+    sampler = None
+    if config.telemetry or writer is not None:
+        # Traced runs always sample: the trace's v2 ``series`` section is
+        # what `repro-bench compare` and the CI telemetry gate consume.
+        sampler = TelemetrySampler(
+            TelemetryConfig(
+                period_ms=config.telemetry_period_ms,
+                deadline_slo_ms=config.deadline_slo_ms,
+            ),
+            rules=parse_rules(config.alert_rules),
+        )
     engine = Engine(
         queries,
         scheduler,
@@ -216,6 +250,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         profiler=profiler,
         faults=faults,
         invariants=monitor,
+        telemetry=sampler,
         validate=config.validate,
     )
     metrics = engine.run(config.duration_ms)
@@ -224,6 +259,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         writer.finalize(
             operators=[p.to_dict() for p in metrics.operator_profiles],
             chains=[c.to_dict() for c in chains],
+            series=sampler.series_rows() if sampler is not None else (),
+            alerts=sampler.alert_rows() if sampler is not None else (),
             summary=trace_summary(metrics),
         )
     return ExperimentResult(
@@ -232,6 +269,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         monitor=monitor,
         audit=audit,
         chain_profiles=chains,
+        telemetry=sampler,
     )
 
 

@@ -6,6 +6,9 @@ Usage (installed as ``repro-bench``, or ``python -m repro.cli``)::
     repro-bench sweep --workload lrb --queries 20 40 60 --schedulers Default Klink
     repro-bench report --workload ysb --scheduler Klink --queries 8 --duration 30
     repro-bench report --trace trace.jsonl --format json
+    repro-bench report --trace trace.jsonl --chrome flame.json
+    repro-bench compare trace.jsonl --emit BENCH_ysb.json
+    repro-bench compare BENCH_ysb.json fresh_trace.jsonl
     repro-bench estimate --delay zipf --confidence 95
     repro-bench check-plan --workload ysb --queries 4
     repro-bench lint src/repro
@@ -140,6 +143,51 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--no-validate", action="store_true",
         help="skip static query-plan validation at engine submission",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="attach a virtual-clock telemetry sampler (queue depth, "
+             "watermark lag, slack, SWM-delay moments, memory-mode "
+             "occupancy, latency series + SLO alert rules)",
+    )
+    parser.add_argument(
+        "--telemetry-period", type=float, default=200.0, metavar="MS",
+        help="telemetry sample period in virtual ms (default 200)",
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=1000.0, metavar="MS",
+        help="end-to-end latency SLO; latencies above it count as "
+             "deadline misses (default 1000)",
+    )
+    parser.add_argument(
+        "--alert", action="append", default=None, metavar="RULE",
+        help="alert rule, e.g. 'latency_recent_p99_ms > 1000 for 5s' or "
+             "'queue_depth growing for 10 samples'; repeatable "
+             "(default: the built-in SLO rule set)",
+    )
+
+
+def _telemetry_fields(args: argparse.Namespace) -> dict:
+    """ExperimentConfig kwargs shared by run/sweep telemetry flags."""
+    fields = {
+        "telemetry": args.telemetry,
+        "telemetry_period_ms": args.telemetry_period,
+        "deadline_slo_ms": args.slo_ms,
+    }
+    if args.alert:
+        fields["alert_rules"] = tuple(args.alert)
+    return fields
+
+
+def _report_alerts(results: List) -> None:
+    """Print fired-alert summaries for telemetry-sampled runs."""
+    for res in results:
+        sampler = res.telemetry
+        if sampler is None or not sampler.alerts.events:
+            continue
+        label = f"{res.config.scheduler}/n={res.config.n_queries}"
+        counts = sampler.alerts.counts()
+        body = ", ".join(f"{rule}={n}" for rule, n in counts.items())
+        print(f"[alerts {label}] {len(sampler.alerts.events)} fired: {body}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -158,14 +206,25 @@ def cmd_run(args: argparse.Namespace) -> int:
         check_invariants=args.check_invariants,
         validate=not args.no_validate,
         trace_path=args.trace,
+        **_telemetry_fields(args),
     )
+    if args.bench_json:
+        # Snapshots are summarized from the full trace sections.
+        cfg = replace(cfg, audit=True, profile=True, telemetry=True)
     res = run_experiment(cfg)
     if args.trace:
         print(f"[trace] wrote {args.trace}")
+    if args.bench_json:
+        from repro.obs.compare import snapshot_from_trace, write_snapshot
+
+        snapshot = snapshot_from_trace(trace_from_result(res))
+        write_snapshot(args.bench_json, snapshot)
+        print(f"[bench] wrote {args.bench_json}")
     rows = [_summary_row(res)]
     _print_rows(rows)
     if args.csv:
         _write_csv(args.csv, rows)
+    _report_alerts([res])
     return _report_monitors([res])
 
 
@@ -182,6 +241,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fault_seed=args.faults,
         check_invariants=args.check_invariants,
         validate=not args.no_validate,
+        **_telemetry_fields(args),
     )
     rows = []
     results = []
@@ -194,6 +254,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _print_rows(rows)
     if args.csv:
         _write_csv(args.csv, rows)
+    _report_alerts(results)
     return _report_monitors(results)
 
 
@@ -201,13 +262,35 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import build_report, jsonify, read_trace, render_text
     from repro.obs.schema import (
         SchemaError,
+        validate_alert,
         validate_cycle,
         validate_operator,
         validate_report,
+        validate_series,
     )
 
     if args.trace is not None:
-        trace = read_trace(args.trace)
+        try:
+            trace = read_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"[report] ERROR: cannot read trace: {exc}", file=sys.stderr)
+            return 1
+        if not trace.meta:
+            print(
+                f"[report] ERROR: {args.trace}: missing meta record "
+                "(not a run trace?)",
+                file=sys.stderr,
+            )
+            return 1
+        if not trace.summary:
+            # A finalized trace always ends with its summary record; a
+            # missing one means the run died mid-write (truncated file).
+            print(
+                f"[report] ERROR: {args.trace}: truncated trace "
+                "(no summary record)",
+                file=sys.stderr,
+            )
+            return 1
     else:
         cfg = ExperimentConfig(
             workload=args.workload,
@@ -222,6 +305,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             memory_gb=args.memory_gb,
             audit=True,
             profile=True,
+            telemetry=True,
             trace_path=args.save_trace,
         )
         res = run_experiment(cfg)
@@ -235,14 +319,28 @@ def cmd_report(args: argparse.Namespace) -> int:
                 validate_cycle(jsonify(row))
             for row in trace.operators:
                 validate_operator(jsonify(row))
+            for row in trace.series:
+                validate_series(jsonify(row))
+            for row in trace.alerts:
+                validate_alert(jsonify(row))
         except SchemaError as exc:
             print(f"[schema] FAIL: {exc}", file=sys.stderr)
             return 1
         print(
-            f"[schema] OK: report + {len(trace.cycles)} cycle and "
-            f"{len(trace.operators)} operator records",
+            f"[schema] OK: report + {len(trace.cycles)} cycle, "
+            f"{len(trace.operators)} operator, {len(trace.series)} series, "
+            f"and {len(trace.alerts)} alert records",
             file=sys.stderr,
         )
+    if args.chrome:
+        from repro.obs.flame import write_chrome_trace
+
+        try:
+            write_chrome_trace(args.chrome, trace)
+        except SchemaError as exc:
+            print(f"[chrome] FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(f"[chrome] wrote {args.chrome}", file=sys.stderr)
     if args.format == "json":
         print(report.to_json())
     else:
@@ -251,6 +349,50 @@ def cmd_report(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report.to_json() + "\n")
     return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs.compare import (
+        CompareThresholds,
+        compare_snapshots,
+        dumps_snapshot,
+        load_input,
+        render_comparison,
+        write_snapshot,
+    )
+
+    if len(args.paths) not in (1, 2):
+        print("[compare] ERROR: pass one input (with --emit) or two "
+              "inputs to diff", file=sys.stderr)
+        return 2
+    try:
+        snapshots = [load_input(path) for path in args.paths]
+    except (OSError, ValueError) as exc:
+        print(f"[compare] ERROR: {exc}", file=sys.stderr)
+        return 2
+    current = snapshots[-1]
+    if args.emit:
+        write_snapshot(args.emit, current)
+        print(f"[compare] wrote {args.emit}", file=sys.stderr)
+    if len(snapshots) == 1:
+        if not args.emit:
+            print(dumps_snapshot(current), end="")
+        return 0
+    thresholds = CompareThresholds(
+        latency_pct=args.latency_threshold,
+        throughput_pct=args.throughput_threshold,
+        operator_cpu_pct=args.operator_cpu_threshold,
+        max_new_alerts=args.max_new_alerts,
+        max_new_deadline_misses=args.max_new_deadline_misses,
+    )
+    result = compare_snapshots(snapshots[0], current, thresholds)
+    if args.format == "json":
+        from repro.obs import dumps_line
+
+        print(dumps_line(result.to_dict()))
+    else:
+        print(render_comparison(result))
+    return 0 if result.ok else 1
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
@@ -327,7 +469,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--trace", default=None, metavar="PATH",
         help="stream a full run trace (scheduler decisions, operator "
-             "profiles, summary) to PATH as JSONL, for repro-bench report",
+             "profiles, telemetry series, summary) to PATH as JSONL, "
+             "for repro-bench report / compare",
+    )
+    run_p.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="emit a BENCH_<workload>.json telemetry snapshot of the run "
+             "(implies audit/profile/telemetry), for repro-bench compare",
     )
     run_p.set_defaults(func=cmd_run)
 
@@ -366,7 +514,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the report and trace records against the "
              "documented schemas; non-zero exit on mismatch",
     )
+    report_p.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also export a Chrome trace-event (chrome://tracing / "
+             "Perfetto) flame chart of the run to PATH",
+    )
     report_p.set_defaults(func=cmd_report)
+
+    compare_p = sub.add_parser(
+        "compare",
+        help="emit/diff BENCH_<workload>.json telemetry snapshots; "
+             "nonzero exit when the second input regresses the first",
+    )
+    compare_p.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="traces (.jsonl) or snapshots (.json): one input with "
+             "--emit to snapshot it, two inputs (baseline, current) "
+             "to diff",
+    )
+    compare_p.add_argument("--emit", default=None, metavar="PATH",
+                           help="write the (last) input's snapshot to PATH")
+    compare_p.add_argument("--latency-threshold", type=float, default=10.0,
+                           metavar="PCT",
+                           help="allowed latency increase in %% (default 10)")
+    compare_p.add_argument("--throughput-threshold", type=float, default=10.0,
+                           metavar="PCT",
+                           help="allowed throughput decrease in %% (default 10)")
+    compare_p.add_argument("--operator-cpu-threshold", type=float,
+                           default=25.0, metavar="PCT",
+                           help="allowed per-operator CPU growth in %% "
+                                "(default 25)")
+    compare_p.add_argument("--max-new-alerts", type=int, default=0,
+                           help="allowed alert-count increase (default 0)")
+    compare_p.add_argument("--max-new-deadline-misses", type=int, default=0,
+                           help="allowed deadline-miss increase (default 0)")
+    compare_p.add_argument("--format", default="text",
+                           choices=["text", "json"])
+    compare_p.set_defaults(func=cmd_compare)
 
     sweep_p = sub.add_parser("sweep", help="sweep query counts x schedulers")
     _add_common(sweep_p)

@@ -120,6 +120,7 @@ class DistributedEngine(Engine):
         profiler=None,
         faults=None,
         invariants=None,
+        telemetry=None,
         validate: bool = True,
     ) -> None:
         self.plan = plan
@@ -141,6 +142,7 @@ class DistributedEngine(Engine):
             profiler=profiler,
             faults=faults,
             invariants=invariants,
+            telemetry=telemetry,
             validate=validate,
         )
         # Attach transfer latency to cross-node edges.
@@ -302,6 +304,23 @@ class DistributedEngine(Engine):
             )
         if self.profiler is not None:
             self.profiler.on_cycle(self.queries)
+        if self.telemetry is not None:
+            # Per-node series merge: one registry receives every node's
+            # CPU counters (labelled node=<i>); per-query signals are
+            # cluster-global and recorded once. Registry serialization
+            # sorts by series key, so the merged output is independent
+            # of node iteration order.
+            node_cpu = {
+                node: (used, overhead)
+                for node, _, _, _, used, overhead in node_records
+            }
+            self.telemetry.on_cycle(
+                self,
+                now,
+                cpu_used_ms=used_total,
+                overhead_ms=overhead_total,
+                node_cpu=node_cpu,
+            )
         if self.audit is not None:
             # one audit record per live node: each node's policy ranked the
             # full query set independently (decentralized scheduling, Sec. 4)

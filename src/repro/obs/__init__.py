@@ -10,7 +10,15 @@ The subsystem that lets a run *prove* its claims:
 * :mod:`repro.obs.export` — bounded-memory streaming JSONL/CSV writers
   and the run-trace container format;
 * :mod:`repro.obs.report` — ``repro-bench report``'s builder/renderer;
-* :mod:`repro.obs.schema` — documented schemas + validators (CI-checked).
+* :mod:`repro.obs.schema` — documented schemas + validators (CI-checked);
+* :mod:`repro.obs.timeseries` — in-run telemetry: Counter/Gauge/Histogram
+  registry sampled on the virtual clock into bounded ring-buffer series;
+* :mod:`repro.obs.alerts` — declarative SLO/alert rules evaluated over
+  the telemetry series during the run;
+* :mod:`repro.obs.flame` — Chrome trace-event (Perfetto) flame-chart
+  export of cycles, operator spans, alerts, and counter tracks;
+* :mod:`repro.obs.compare` — ``repro-bench compare``: ``BENCH_*.json``
+  telemetry snapshots and threshold-gated cross-run regression diffs.
 
 Usage::
 
@@ -48,9 +56,43 @@ from repro.obs.report import Episode, RunReport, build_report, render_text
 from repro.obs.schema import (
     REPORT_SCHEMA,
     SchemaError,
+    validate_alert,
     validate_cycle,
     validate_operator,
     validate_report,
+    validate_series,
+)
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    AlertRuleError,
+    DEFAULT_RULE_TEXTS,
+    parse_rule,
+    parse_rules,
+)
+from repro.obs.compare import (
+    CompareThresholds,
+    ComparisonResult,
+    compare_snapshots,
+    load_snapshot,
+    render_comparison,
+    snapshot_from_trace,
+    write_snapshot,
+)
+from repro.obs.flame import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.timeseries import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    TelemetryConfig,
+    TelemetrySampler,
 )
 
 __all__ = [
@@ -80,4 +122,30 @@ __all__ = [
     "validate_report",
     "validate_cycle",
     "validate_operator",
+    "validate_series",
+    "validate_alert",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "AlertRule",
+    "AlertRuleError",
+    "AlertEvent",
+    "AlertEngine",
+    "DEFAULT_RULE_TEXTS",
+    "parse_rule",
+    "parse_rules",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "CompareThresholds",
+    "ComparisonResult",
+    "compare_snapshots",
+    "snapshot_from_trace",
+    "load_snapshot",
+    "write_snapshot",
+    "render_comparison",
 ]

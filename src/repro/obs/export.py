@@ -11,11 +11,17 @@ the *run trace* container format used by ``repro-bench report``:
 
 one JSONL file, one record per line, discriminated by a ``type`` field::
 
-    {"type": "meta", "schema_version": 1, "workload": "ysb", ...}
+    {"type": "meta", "schema_version": 2, "workload": "ysb", ...}
     {"type": "cycle", "time": 120.0, "decisions": [...], ...}   # repeated
     {"type": "operator", "query_id": "ysb-0", "name": ..., ...} # repeated
     {"type": "chain", "query_id": "ysb-0", ...}                 # repeated
+    {"type": "series", "name": "queue_depth", "points": [...]}  # repeated, v2+
+    {"type": "alert", "rule": "slo-latency", "start": ..., ...} # repeated, v2+
     {"type": "summary", "mean_latency_ms": ..., "latency_cdf": [...]}
+
+Schema version 2 (this layout) adds the telemetry ``series`` and
+``alert`` sections; version-1 traces contain none of them and still
+parse through :func:`read_trace` with those sections empty.
 
 Serialization is deterministic: dictionaries are written in insertion
 order with fixed separators, and non-finite floats are mapped to
@@ -31,8 +37,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, List, Mapping, Optional, Sequence
 
-#: version of the trace/report container format (bump on breaking change)
-SCHEMA_VERSION = 1
+#: version of the trace/report container format (bump on breaking change);
+#: v2 added the telemetry ``series``/``alert`` record types (PR 4)
+SCHEMA_VERSION = 2
 
 
 def jsonify(value: Any) -> Any:
@@ -138,7 +145,14 @@ class Trace:
     cycles: List[Dict[str, Any]] = field(default_factory=list)
     operators: List[Dict[str, Any]] = field(default_factory=list)
     chains: List[Dict[str, Any]] = field(default_factory=list)
+    #: telemetry sections (schema v2+; empty for v1 traces)
+    series: List[Dict[str, Any]] = field(default_factory=list)
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
     summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.meta.get("schema_version", 1))
 
 
 class TraceWriter:
@@ -168,6 +182,8 @@ class TraceWriter:
         *,
         operators: Sequence[Mapping[str, Any]] = (),
         chains: Sequence[Mapping[str, Any]] = (),
+        series: Sequence[Mapping[str, Any]] = (),
+        alerts: Sequence[Mapping[str, Any]] = (),
         summary: Optional[Mapping[str, Any]] = None,
     ) -> None:
         """Append the end-of-run records and close the file."""
@@ -179,6 +195,14 @@ class TraceWriter:
             self._writer.write(tagged)
         for row in chains:
             tagged = {"type": "chain"}
+            tagged.update(row)
+            self._writer.write(tagged)
+        for row in series:
+            tagged = {"type": "series"}
+            tagged.update(row)
+            self._writer.write(tagged)
+        for row in alerts:
+            tagged = {"type": "alert"}
             tagged.update(row)
             self._writer.write(tagged)
         if summary is not None:
@@ -213,6 +237,10 @@ def read_trace(path: str) -> Trace:
                 trace.operators.append(row)
             elif kind == "chain":
                 trace.chains.append(row)
+            elif kind == "series":
+                trace.series.append(row)
+            elif kind == "alert":
+                trace.alerts.append(row)
             elif kind == "summary":
                 trace.summary = row
             else:

@@ -1,0 +1,284 @@
+"""Chrome trace-event ("flame chart") export of a run trace.
+
+Converts a :class:`~repro.obs.export.Trace` into the Chrome trace-event
+JSON object format, loadable in ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev): drop the emitted ``.json`` file onto either
+UI to scrub through a run visually.
+
+Mapping of simulation concepts onto trace-event rows:
+
+* **scheduler cycles** (``pid 0``, one ``tid`` per node) — a complete
+  ``X`` span per scheduling cycle, named by plan mode, carrying CPU
+  use, overhead, memory utilization, backpressure, and the head
+  scheduling decision in ``args``;
+* **operator execution** (``pid 1``, one ``tid`` per query) — one
+  ``X`` span per operator, laid out sequentially within its query so
+  the pipeline reads as a flame chart of simulated CPU-ms;
+* **alerts** (``pid 0``) — an ``i`` instant event per fired alert at
+  its start time;
+* **telemetry series** (``pid 2``) — ``C`` counter events per sampled
+  point, which Perfetto renders as stairstep tracks.
+
+Virtual-clock milliseconds are scaled to the trace-event microsecond
+timebase. The output is deterministic (insertion-ordered keys, fixed
+separators, non-finite floats mapped to ``null``) like every other
+exporter in :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.export import Trace, dumps_line, jsonify
+from repro.obs.schema import SchemaError
+
+#: trace-event process ids (render as named groups in the UI)
+PID_SCHEDULER = 0
+PID_OPERATORS = 1
+PID_TELEMETRY = 2
+
+#: event phases used by the exporter
+_PHASE_COMPLETE = "X"
+_PHASE_INSTANT = "i"
+_PHASE_COUNTER = "C"
+_PHASE_METADATA = "M"
+
+
+def _us(ms: float) -> float:
+    """Virtual-clock ms -> trace-event µs."""
+    return float(ms) * 1000.0
+
+
+def _metadata(name: str, pid: int, tid: int, label: str) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "ph": _PHASE_METADATA,
+        "ts": 0,
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": label},
+    }
+
+
+def _cycle_events(
+    cycles: Sequence[Mapping[str, Any]], cycle_ms: float
+) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for row in cycles:
+        end = float(row.get("time", 0.0))
+        duration = cycle_ms if cycle_ms > 0 else float(row.get("cpu_used_ms", 0.0))
+        start = max(end - duration, 0.0)
+        node = int(row.get("node", 0))
+        args: Dict[str, Any] = {
+            "cycle": row.get("cycle"),
+            "cpu_used_ms": row.get("cpu_used_ms"),
+            "overhead_ms": row.get("overhead_ms"),
+            "memory_utilization": row.get("memory_utilization"),
+            "backpressured": bool(row.get("backpressured")),
+        }
+        decisions = row.get("decisions") or []
+        if decisions:
+            head = decisions[0]
+            args["head_query"] = head.get("query_id")
+            args["head_reason"] = head.get("reason")
+        events.append(
+            {
+                "name": f"cycle:{row.get('mode', 'priority')}",
+                "cat": "scheduler",
+                "ph": _PHASE_COMPLETE,
+                "ts": _us(start),
+                "dur": _us(max(end - start, 0.0)),
+                "pid": PID_SCHEDULER,
+                "tid": node,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _operator_events(
+    operators: Sequence[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """One span per operator, stacked sequentially per query.
+
+    The trace records end-of-run CPU totals, not per-cycle spans, so the
+    flame chart lays each query's operators out back-to-back: the track
+    width *is* the pipeline's total simulated CPU-ms and each span's
+    share is the operator's share — the classic flame-chart reading.
+    """
+    query_ids = sorted(
+        {str(op.get("query_id", "?")) for op in operators}
+    )
+    tids = {qid: idx for idx, qid in enumerate(query_ids)}
+    offsets = {qid: 0.0 for qid in query_ids}
+    events: List[Dict[str, Any]] = []
+    for qid in query_ids:
+        events.append(
+            _metadata("thread_name", PID_OPERATORS, tids[qid], f"query {qid}")
+        )
+    for op in operators:
+        qid = str(op.get("query_id", "?"))
+        cpu_ms = float(op.get("cpu_ms", 0.0))
+        events.append(
+            {
+                "name": str(op.get("name", "?")),
+                "cat": "operator",
+                "ph": _PHASE_COMPLETE,
+                "ts": _us(offsets[qid]),
+                "dur": _us(max(cpu_ms, 0.0)),
+                "pid": PID_OPERATORS,
+                "tid": tids[qid],
+                "args": {
+                    "events_in": op.get("events_in"),
+                    "events_out": op.get("events_out"),
+                    "queued_events_hwm": op.get("queued_events_hwm"),
+                    "state_bytes_hwm": op.get("state_bytes_hwm"),
+                },
+            }
+        )
+        offsets[qid] += max(cpu_ms, 0.0)
+    return events
+
+
+def _alert_events(alerts: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for row in alerts:
+        events.append(
+            {
+                "name": f"alert:{row.get('rule', '?')}",
+                "cat": "alert",
+                "ph": _PHASE_INSTANT,
+                "ts": _us(float(row.get("start", 0.0))),
+                "pid": PID_SCHEDULER,
+                "tid": 0,
+                "s": "p",  # process-scoped instant (draws a full-height line)
+                "args": {
+                    "series": row.get("series"),
+                    "value": row.get("value"),
+                    "end": row.get("end"),
+                },
+            }
+        )
+    return events
+
+
+def _series_events(series: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for row in series:
+        name = str(row.get("name", "?"))
+        labels = row.get("labels") or {}
+        if labels:
+            body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            name = f"{name}{{{body}}}"
+        for point in row.get("points", ()):
+            t, value = float(point[0]), point[1]
+            events.append(
+                {
+                    "name": name,
+                    "cat": "telemetry",
+                    "ph": _PHASE_COUNTER,
+                    "ts": _us(t),
+                    "pid": PID_TELEMETRY,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def chrome_trace_events(
+    trace: Trace, *, include_series: bool = True
+) -> Dict[str, Any]:
+    """Build the trace-event JSON object for one run trace.
+
+    ``include_series=False`` drops the per-point counter tracks, which
+    dominate file size on long runs.
+    """
+    cycle_ms = float(trace.meta.get("cycle_ms") or 0.0)
+    events: List[Dict[str, Any]] = [
+        _metadata("process_name", PID_SCHEDULER, 0, "scheduler cycles"),
+        _metadata("process_name", PID_OPERATORS, 0, "operator flame"),
+        _metadata("process_name", PID_TELEMETRY, 0, "telemetry series"),
+    ]
+    events += _cycle_events(trace.cycles, cycle_ms)
+    events += _operator_events(trace.operators)
+    events += _alert_events(trace.alerts)
+    if include_series:
+        events += _series_events(trace.series)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {k: trace.meta.get(k) for k in sorted(trace.meta)},
+    }
+
+
+def validate_chrome_trace(payload: Mapping[str, Any]) -> None:
+    """Structural check against the trace-event JSON object format.
+
+    Raises :class:`~repro.obs.schema.SchemaError` on the first
+    violation; used by ``repro-bench report --chrome`` before writing
+    and by the tests as the acceptance gate.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise SchemaError("traceEvents: expected a list")
+    for idx, event in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(event, dict):
+            raise SchemaError(f"{where}: expected an object")
+        for key, types in (
+            ("name", (str,)),
+            ("ph", (str,)),
+            ("ts", (int, float)),
+            ("pid", (int,)),
+            ("tid", (int,)),
+        ):
+            value = event.get(key)
+            if not isinstance(value, types) or isinstance(value, bool):
+                raise SchemaError(
+                    f"{where}.{key}: expected {'/'.join(t.__name__ for t in types)}, "
+                    f"got {value!r}"
+                )
+        if float(event["ts"]) < 0:
+            raise SchemaError(f"{where}.ts: negative timestamp {event['ts']!r}")
+        if event["ph"] == _PHASE_COMPLETE:
+            duration = event.get("dur")
+            if (
+                not isinstance(duration, (int, float))
+                or isinstance(duration, bool)
+                or float(duration) < 0
+            ):
+                raise SchemaError(
+                    f"{where}.dur: X events need a non-negative dur, got {duration!r}"
+                )
+
+
+def write_chrome_trace(
+    path: str, trace: Trace, *, include_series: bool = True
+) -> Dict[str, Any]:
+    """Validate, then write the trace-event file; returns the payload."""
+    payload = chrome_trace_events(trace, include_series=include_series)
+    validate_chrome_trace(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_line(jsonify(payload)))
+        fh.write("\n")
+    return payload
+
+
+def trace_from_tracer(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    cycle_ms: float,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Trace:
+    """Wrap bare :class:`~repro.spe.tracing.CycleTracer` rows in a Trace
+    so lightweight (tracer-only) runs can still export a flame chart."""
+    head: Dict[str, Any] = {"cycle_ms": cycle_ms}
+    if meta:
+        head.update(meta)
+    cycles: List[Dict[str, Any]] = []
+    for row in rows:
+        cycle = dict(row)
+        cycle.setdefault("mode", cycle.pop("plan_mode", "priority"))
+        cycles.append(cycle)
+    return Trace(meta=head, cycles=cycles)

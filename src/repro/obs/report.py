@@ -88,6 +88,8 @@ class RunReport:
     hottest_operators: List[Dict[str, Any]] = field(default_factory=list)
     chains: List[Dict[str, Any]] = field(default_factory=list)
     episodes: List[Episode] = field(default_factory=list)
+    alerts: Dict[str, Any] = field(default_factory=dict)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -99,6 +101,8 @@ class RunReport:
             "hottest_operators": self.hottest_operators,
             "chains": self.chains,
             "episodes": [e.to_dict() for e in self.episodes],
+            "alerts": self.alerts,
+            "telemetry": self.telemetry,
         }
 
     def to_json(self) -> str:
@@ -157,6 +161,19 @@ def build_report(trace: Trace, top_k: int = 10) -> RunReport:
     cdf: List[Tuple[float, Optional[float]]] = [
         (float(p), None if v is None else float(v)) for p, v in raw_cdf
     ]
+    alert_counts: Counter[str] = Counter(
+        str(row.get("rule", "?")) for row in trace.alerts
+    )
+    alerts: Dict[str, Any] = {
+        "total": len(trace.alerts),
+        "by_rule": dict(sorted(alert_counts.items())),
+        "events": [dict(row) for row in trace.alerts],
+    }
+    telemetry: Dict[str, Any] = {
+        "series": len(trace.series),
+        "points": sum(len(s.get("points", ())) for s in trace.series),
+        "dropped": sum(int(s.get("dropped", 0)) for s in trace.series),
+    }
     return RunReport(
         meta=dict(trace.meta),
         summary=summary,
@@ -165,6 +182,8 @@ def build_report(trace: Trace, top_k: int = 10) -> RunReport:
         hottest_operators=[dict(op) for op in hottest],
         chains=[dict(ch) for ch in trace.chains],
         episodes=episodes,
+        alerts=alerts,
+        telemetry=telemetry,
     )
 
 
@@ -229,6 +248,32 @@ def render_text(report: RunReport) -> str:
                 f"  {ep.kind:12s} [{ep.start:,.0f}, {ep.end:,.0f}] ms "
                 f"({ep.cycles} cycles)"
             )
+    if report.alerts.get("total"):
+        lines.append("-- alerts --")
+        by_rule = report.alerts.get("by_rule", {})
+        lines.append(
+            f"  {report.alerts['total']} fired: "
+            + ", ".join(f"{rule}={n}" for rule, n in by_rule.items())
+        )
+        for event in report.alerts.get("events", [])[:8]:
+            end = event.get("end")
+            end_text = "open" if end is None else f"{float(end):,.0f}"
+            lines.append(
+                f"  {str(event.get('rule', '?')):24s} "
+                f"[{float(event.get('start', 0.0)):,.0f}, {end_text}] ms "
+                f"on {event.get('series', '?')}"
+            )
+    if report.telemetry.get("series"):
+        tele = report.telemetry
+        lines.append(
+            f"-- telemetry: {tele.get('series', 0)} series, "
+            f"{tele.get('points', 0)} points"
+            + (
+                f", {tele['dropped']} dropped --"
+                if tele.get("dropped")
+                else " --"
+            )
+        )
     if report.hottest_operators:
         lines.append("-- hottest operators (by simulated CPU-ms) --")
         lines.append(

@@ -101,6 +101,40 @@ EPISODE_SCHEMA: Dict[str, Spec] = {
     "cycles": (int,),
 }
 
+#: one telemetry time-series (trace ``type=series`` rows, schema v2+)
+SERIES_SCHEMA: Dict[str, Spec] = {
+    "name": (str,),
+    "labels": (dict,),
+    "kind": (str,),
+    "period_ms": NUMBER,
+    "points": ListSpec(ListSpec(OPT_NUMBER, min_items=2)),
+    "dropped": (int,),
+}
+
+#: one fired alert (trace ``type=alert`` rows, schema v2+)
+ALERT_SCHEMA: Dict[str, Spec] = {
+    "rule": (str,),
+    "series": (str,),
+    "kind": (str,),
+    "start": NUMBER,
+    "end": OPT_NUMBER,
+    "value": OPT_NUMBER,
+}
+
+#: the alert summary section of the report
+ALERT_SUMMARY_SCHEMA: Dict[str, Spec] = {
+    "total": (int,),
+    "by_rule": (dict,),
+    "events": ListSpec(ALERT_SCHEMA),
+}
+
+#: the telemetry summary section of the report
+TELEMETRY_SCHEMA: Dict[str, Spec] = {
+    "series": (int,),
+    "points": (int,),
+    "dropped": (int,),
+}
+
 #: the decision-timeline summary section of the report
 TIMELINE_SCHEMA: Dict[str, Spec] = {
     "cycles": (int,),
@@ -125,6 +159,8 @@ REPORT_SCHEMA: Dict[str, Spec] = {
     "hottest_operators": ListSpec(OPERATOR_SCHEMA),
     "chains": ListSpec(CHAIN_SCHEMA),
     "episodes": ListSpec(EPISODE_SCHEMA),
+    "alerts": ALERT_SUMMARY_SCHEMA,
+    "telemetry": TELEMETRY_SCHEMA,
 }
 
 
@@ -171,3 +207,13 @@ def validate_cycle(obj: Mapping[str, Any]) -> None:
 def validate_operator(obj: Mapping[str, Any]) -> None:
     """Validate one operator-profile record."""
     _check(dict(obj), OPERATOR_SCHEMA, "$")
+
+
+def validate_series(obj: Mapping[str, Any]) -> None:
+    """Validate one telemetry time-series record."""
+    _check(dict(obj), SERIES_SCHEMA, "$")
+
+
+def validate_alert(obj: Mapping[str, Any]) -> None:
+    """Validate one alert-event record."""
+    _check(dict(obj), ALERT_SCHEMA, "$")

@@ -64,6 +64,7 @@ class Engine:
         profiler=None,
         faults=None,
         invariants=None,
+        telemetry=None,
         validate: bool = True,
     ) -> None:
         if cores < 1:
@@ -93,6 +94,8 @@ class Engine:
         self.faults = faults
         #: optional runtime invariant checker (repro.faults.InvariantMonitor)
         self.invariants = invariants
+        #: optional in-run telemetry sampler (repro.obs.TelemetrySampler)
+        self.telemetry = telemetry
         self.clock = VirtualClock()
         self.metrics = RunMetrics()
         self._rng = np.random.default_rng(seed)
@@ -429,6 +432,8 @@ class Engine:
         if self.invariants is not None:
             self.invariants.finalize(self)
             self.metrics.invariant_violations = self.invariants.total_violations
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.metrics, self.clock.now)
         return self.metrics
 
     def _apply_faults(self, now: float) -> bool:
@@ -505,6 +510,10 @@ class Engine:
             )
         if self.profiler is not None:
             self.profiler.on_cycle(self.queries)
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(
+                self, now, cpu_used_ms=used, overhead_ms=overhead
+            )
         if self.audit is not None:
             self.audit.on_cycle(
                 time=now,

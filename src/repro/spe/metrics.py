@@ -87,6 +87,13 @@ class RunMetrics:
     fault_cycles: int = 0  # cycles with >= 1 active fault episode
     watermarks_dropped_by_faults: int = 0
     invariant_violations: int = 0
+    # telemetry aggregates, populated by a TelemetrySampler attached to
+    # the engine (repro.obs.timeseries); NaN/0 when telemetry is off
+    deadline_misses: int = 0  # sink latencies above the deadline SLO
+    watermark_lag_max_ms: float = math.nan
+    watermark_lag_mean_ms: float = math.nan
+    alerts_fired: int = 0
+    alert_counts: Dict[str, int] = field(default_factory=dict)
     #: per-operator profiles, populated at the end of a run when an
     #: OperatorProfiler is attached to the engine (repro.obs.profile).
     operator_profiles: List["OperatorProfile"] = field(default_factory=list)
@@ -162,6 +169,10 @@ class RunMetrics:
             "overhead_pct": 100.0 * self.overhead_fraction,
             "fault_cycles": float(self.fault_cycles),
             "invariant_violations": float(self.invariant_violations),
+            "deadline_misses": float(self.deadline_misses),
+            "max_watermark_lag_ms": self.watermark_lag_max_ms,
+            "mean_watermark_lag_ms": self.watermark_lag_mean_ms,
+            "alerts_fired": float(self.alerts_fired),
         }
 
 

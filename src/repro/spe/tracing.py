@@ -144,6 +144,20 @@ class CycleTracer:
             for row in self._rows:
                 writer.write(self._record_dict(row))
 
+    def to_chrome(self, path: str, *, cycle_ms: float) -> None:
+        """Export the retained cycles as a Chrome trace-event file.
+
+        Lightweight counterpart of ``repro-bench report --chrome`` for
+        runs traced with a bare :class:`CycleTracer` (no TraceWriter):
+        the result loads in ``chrome://tracing`` / Perfetto.
+        """
+        from repro.obs.flame import trace_from_tracer, write_chrome_trace
+
+        trace = trace_from_tracer(
+            [self._record_dict(row) for row in self._rows], cycle_ms=cycle_ms
+        )
+        write_chrome_trace(path, trace)
+
     def to_csv(self, path: str) -> None:
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)

@@ -161,7 +161,7 @@ class TestReportCommand:
         out_path = tmp_path / "report.json"
         assert main(self._run_args("--out", str(out_path))) == 0
         payload = json.loads(out_path.read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
 
     def test_save_trace_while_reporting(self, tmp_path, capsys):
         trace = tmp_path / "trace.jsonl"
@@ -177,3 +177,100 @@ class TestReportCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "processor-share" in out
+
+    def test_corrupt_trace_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "corrupt.jsonl"
+        bad.write_text('{"type":"meta"}\nnot json at all\n')
+        assert main(["report", "--trace", str(bad)]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_truncated_trace_exits_nonzero(self, tmp_path, capsys):
+        # A finalized trace ends with its summary record; a file cut off
+        # mid-run has cycles but no summary.
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text(
+            '{"type":"meta","schema_version":2,"workload":"ysb",'
+            '"scheduler":"Klink"}\n'
+            '{"type":"cycle","time":120.0,"cycle":0,"decisions":[]}\n'
+        )
+        assert main(["report", "--trace", str(truncated)]) == 1
+        assert "truncated trace" in capsys.readouterr().err
+
+    def test_missing_meta_exits_nonzero(self, tmp_path, capsys):
+        headless = tmp_path / "headless.jsonl"
+        headless.write_text('{"type":"summary","mean_latency_ms":1.0}\n')
+        assert main(["report", "--trace", str(headless)]) == 1
+        assert "missing meta" in capsys.readouterr().err
+
+    def test_check_schema_failure_exits_nonzero(self, tmp_path, capsys):
+        # Well-formed container, but the cycle row is missing the
+        # required "policy" key, so it violates CYCLE_SCHEMA.
+        bad_row = tmp_path / "badrow.jsonl"
+        bad_row.write_text(
+            '{"type":"meta","schema_version":2,"workload":"ysb",'
+            '"scheduler":"Klink"}\n'
+            '{"type":"cycle","time":120.0,"cycle":0,"node":0,'
+            '"mode":"priority","backpressured":false,"throttled":false,'
+            '"memory_utilization":0.1,"cpu_used_ms":1.0,'
+            '"overhead_ms":0.1,"decisions":[]}\n'
+            '{"type":"summary","mean_latency_ms":1.0,"latency_cdf":[]}\n'
+        )
+        assert main(["report", "--trace", str(bad_row)]) == 0  # no --check-schema
+        capsys.readouterr()
+        rc = main(["report", "--trace", str(bad_row), "--check-schema"])
+        assert rc == 1
+        assert "[schema] FAIL" in capsys.readouterr().err
+
+    def test_chrome_export_from_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.flame import validate_chrome_trace
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(self._run_args("--save-trace", str(trace))) == 0
+        capsys.readouterr()
+        flame = tmp_path / "flame.json"
+        rc = main([
+            "report", "--trace", str(trace), "--chrome", str(flame),
+        ])
+        assert rc == 0
+        payload = json.loads(flame.read_text())
+        validate_chrome_trace(payload)
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
+class TestTelemetryFlags:
+    def test_run_with_telemetry_reports_alerts_line(self, capsys):
+        rc = main([
+            "run", "--workload", "ysb", "--scheduler", "Klink",
+            "--queries", "2", "--duration", "30", "--cores", "4",
+            "--telemetry", "--slo-ms", "100", "--alert",
+            "tight: latency_recent_p99_ms > 100 for 1s",
+        ])
+        assert rc == 0
+        assert "[alerts" in capsys.readouterr().out
+
+    def test_bench_json_emits_snapshot(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_ysb.json"
+        rc = main([
+            "run", "--workload", "ysb", "--scheduler", "Klink",
+            "--queries", "2", "--duration", "30", "--cores", "4",
+            "--bench-json", str(bench),
+        ])
+        assert rc == 0
+        payload = json.loads(bench.read_text())
+        assert payload["snapshot_version"] == 1
+        assert payload["workload"] == "ysb"
+        assert payload["latency_ms"]["mean"] is not None
+
+    def test_bad_alert_rule_is_rejected(self):
+        from repro.obs import AlertRuleError
+
+        with pytest.raises(AlertRuleError):
+            main([
+                "run", "--workload", "ysb", "--queries", "2",
+                "--duration", "5", "--cores", "4",
+                "--telemetry", "--alert", "gibberish rule",
+            ])

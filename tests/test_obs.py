@@ -303,7 +303,7 @@ class TestTraceContainer:
         )
         trace = read_trace(str(path))
         assert trace.meta["workload"] == "ysb"
-        assert trace.meta["schema_version"] == 1
+        assert trace.meta["schema_version"] == 2
         assert len(trace.cycles) == 1 and trace.cycles[0]["cycle"] == 0
         assert trace.operators[0]["name"] == "q0.map"
         assert trace.chains[0]["query_id"] == "q0"

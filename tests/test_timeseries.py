@@ -1,0 +1,285 @@
+"""Tests for the in-run telemetry layer (repro.obs.timeseries): metric
+primitives, the ring-buffered registry, the engine-facing sampler, and
+the v2 trace round trip."""
+
+import math
+
+import pytest
+
+from repro.core.klink import KlinkScheduler
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    TelemetryConfig,
+    TelemetrySampler,
+    TraceWriter,
+    dumps_line,
+    read_trace,
+)
+from repro.obs.schema import validate_series
+from repro.obs.timeseries import labels_key, series_key
+from repro.spe.engine import Engine
+from tests.helpers import make_simple_query
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.read() == 3.5
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_counter_set_total_cannot_decrease(self):
+        c = Counter()
+        c.set_total(10.0)
+        with pytest.raises(ValueError):
+            c.set_total(9.0)
+
+    def test_gauge_is_none_until_set(self):
+        g = Gauge()
+        assert g.read() is None
+        g.set(4)
+        assert g.read() == 4.0
+
+    def test_histogram_quantiles_interpolate(self):
+        h = Histogram(bounds=(10.0, 20.0, 30.0))
+        for v in (5.0, 15.0, 25.0, 25.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.quantile(0) <= h.quantile(50) <= h.quantile(100)
+        assert h.quantile(100) == pytest.approx(30.0)  # containing bucket bound
+
+    def test_histogram_overflow_bucket_interpolates_to_max(self):
+        h = Histogram(bounds=(10.0,))
+        h.observe(15.0)
+        h.observe(25.0)
+        assert h.quantile(100) == pytest.approx(25.0)
+
+    def test_histogram_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram().quantile(50))
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_histogram_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(101)
+
+    def test_labels_key_sorts_pairs(self):
+        assert labels_key({"b": "2", "a": "1"}) == (("a", "1"), ("b", "2"))
+        assert series_key("m", labels_key({"b": "2", "a": "1"})) == "m{a=1,b=2}"
+
+
+class TestSeries:
+    def test_ring_buffer_bounds_and_counts_drops(self):
+        from collections import deque
+
+        s = Series("m", (), "gauge", points=deque(maxlen=3))
+        for i in range(5):
+            s.append(float(i), float(i))
+        assert len(s.points) == 3
+        assert s.dropped == 2
+        assert s.values() == [2.0, 3.0, 4.0]
+        assert s.window(3.0) == [3.0, 4.0]
+
+    def test_to_dict_key_order_is_fixed(self):
+        from collections import deque
+
+        s = Series("m", (("q", "x"),), "gauge", points=deque([(1.0, 2.0)]))
+        row = s.to_dict(200.0)
+        assert list(row) == [
+            "name", "labels", "kind", "period_ms", "points", "dropped",
+        ]
+        validate_series(row)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.gauge("g", {"a": "1"}) is reg.gauge("g", {"a": "1"})
+
+    def test_label_order_is_canonicalized(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("g", {"a": "1", "b": "2"})
+        b = reg.gauge("g", {"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_unset_gauges_and_empty_histograms_skipped(self):
+        reg = MetricsRegistry()
+        reg.gauge("unset")
+        reg.histogram("empty")
+        reg.counter("c").inc()
+        reg.sample(100.0)
+        assert [s.name for s in reg.series()] == ["c"]
+
+    def test_histogram_expands_to_derived_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(10.0)
+        reg.sample(100.0)
+        names = {s.name for s in reg.series()}
+        assert names == {"lat_count", "lat_p50", "lat_p99"}
+
+    def test_series_sorted_regardless_of_registration_order(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name, labels in order:
+                reg.gauge(name, labels).set(1.0)
+            reg.sample(0.0)
+            return [dumps_line(r) for r in reg.to_rows()]
+
+        forward = [("b", None), ("a", {"q": "2"}), ("a", {"q": "1"})]
+        assert build(forward) == build(list(reversed(forward)))
+
+    def test_matching_filters_by_labels(self):
+        reg = MetricsRegistry()
+        reg.gauge("q", {"query": "a"}).set(1.0)
+        reg.gauge("q", {"query": "b"}).set(2.0)
+        reg.sample(0.0)
+        assert len(reg.matching("q")) == 2
+        hits = reg.matching("q", (("query", "a"),))
+        assert [s.key for s in hits] == ["q{query=a}"]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(period_ms=0.0)
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_samples=0)
+
+
+class TestTelemetryConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period_ms": 0.0},
+            {"max_samples": 0},
+            {"deadline_slo_ms": 0.0},
+            {"latency_window": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TelemetryConfig(**kwargs)
+
+
+def run_sampled(*, seed=1, duration=6_000.0, n_queries=2, config=None,
+                rules=(), delay_ms=0.0):
+    queries = [
+        make_simple_query(f"q{i}", rate_eps=500.0, seed=seed + i,
+                          delay_ms=delay_ms)
+        for i in range(n_queries)
+    ]
+    sampler = TelemetrySampler(config or TelemetryConfig(), rules=rules)
+    engine = Engine(queries, KlinkScheduler(), cores=4, cycle_ms=100.0,
+                    seed=seed, telemetry=sampler)
+    metrics = engine.run(duration)
+    return sampler, metrics
+
+
+class TestSamplerOnEngine:
+    def test_standard_signal_set_recorded(self):
+        sampler, _ = run_sampled()
+        names = {s.name for s in sampler.registry.series()}
+        for expected in (
+            "memory_utilization", "memory_bytes", "events_processed",
+            "cpu_ms", "memory_mode_active", "queue_depth",
+            "watermark_lag_ms", "latency_ms_p99", "op_queue_depth",
+            "op_cpu_ms",
+        ):
+            assert expected in names, expected
+
+    def test_sample_cadence_follows_virtual_clock(self):
+        config = TelemetryConfig(period_ms=500.0)
+        sampler, metrics = run_sampled(duration=6_000.0, config=config)
+        # 100 ms cycles, 500 ms period: one sample every 5th cycle.
+        assert sampler.samples_taken == metrics.cycles // 5
+        times = [t for t, _ in sampler.registry.get_series("cpu_ms").points]
+        assert times == [500.0 * (i + 1) for i in range(len(times))]
+
+    def test_per_operator_series_can_be_disabled(self):
+        sampler, _ = run_sampled(config=TelemetryConfig(per_operator=False))
+        names = {s.name for s in sampler.registry.series()}
+        assert "op_queue_depth" not in names
+        assert "queue_depth" in names
+
+    def test_run_metrics_populated(self):
+        sampler, metrics = run_sampled()
+        assert metrics.deadline_misses == sampler.deadline_misses
+        assert math.isfinite(metrics.watermark_lag_mean_ms)
+        assert metrics.watermark_lag_max_ms >= metrics.watermark_lag_mean_ms
+        summary = metrics.summary()
+        assert summary["deadline_misses"] == metrics.deadline_misses
+        assert summary["max_watermark_lag_ms"] == metrics.watermark_lag_max_ms
+
+    def test_tight_slo_counts_every_delivery_as_miss(self):
+        config = TelemetryConfig(deadline_slo_ms=1e-6)
+        sampler, metrics = run_sampled(config=config, delay_ms=50.0)
+        assert len(metrics.swm_latencies) > 0
+        assert metrics.deadline_misses == len(metrics.swm_latencies)
+
+    def test_seeded_reruns_are_byte_identical(self):
+        def rows(delay_ms):
+            sampler, _ = run_sampled(seed=7, delay_ms=delay_ms)
+            return "\n".join(dumps_line(r) for r in sampler.series_rows())
+
+        first = rows(0.0)
+        assert first and first == rows(0.0)
+        assert first != rows(200.0)  # different config, different series
+
+    def test_finalize_is_idempotent(self):
+        sampler, metrics = run_sampled()
+        misses = metrics.deadline_misses
+        sampler.deadline_misses += 99  # must not leak through a second call
+        sampler.finalize(metrics, 99_999.0)
+        assert metrics.deadline_misses == misses
+
+    def test_series_rows_validate_against_schema(self):
+        sampler, _ = run_sampled()
+        rows = sampler.series_rows()
+        assert rows
+        for row in rows:
+            validate_series(row)
+
+
+class TestTraceV2RoundTrip:
+    def test_series_and_alerts_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(str(path), meta={"workload": "ysb"})
+        writer.finalize(
+            series=[{"name": "q", "labels": {}, "kind": "gauge",
+                     "period_ms": 200.0, "points": [[200.0, 1.0]],
+                     "dropped": 0}],
+            alerts=[{"rule": "r", "series": "q", "kind": "threshold",
+                     "start": 200.0, "end": 400.0, "value": 2.0}],
+            summary={"cycles": 1},
+        )
+        trace = read_trace(str(path))
+        assert trace.schema_version == 2
+        assert trace.series[0]["name"] == "q"
+        assert trace.alerts[0]["rule"] == "r"
+
+    def test_v1_trace_still_loads(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text(
+            '{"type":"meta","schema_version":1,"workload":"ysb"}\n'
+            '{"type":"cycle","time":100.0,"cycle":0,"decisions":[]}\n'
+            '{"type":"summary","mean_latency_ms":1.0}\n'
+        )
+        trace = read_trace(str(path))
+        assert trace.schema_version == 1
+        assert trace.series == [] and trace.alerts == []
+        assert len(trace.cycles) == 1
