@@ -1,9 +1,11 @@
 # Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
 
 PY ?= python
+JOBS ?= 4
 export PYTHONPATH := src
 
-.PHONY: test lint mypy check-plan check-report check-telemetry check
+.PHONY: test lint mypy check-plan check-report check-telemetry check \
+	perf bench bench-parallel
 
 test:
 	$(PY) -m pytest -x -q
@@ -35,7 +37,7 @@ check-report:
 check-telemetry:
 	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	run="$(PY) -m repro.cli run --workload ysb --scheduler Klink \
-		--queries 4 --duration 30 --cores 8 --seed 1"; \
+		--queries 4 --duration 30 --cores 8 --seed 1 --no-cache"; \
 	$$run --trace $$dir/a.jsonl --bench-json $$dir/bench_a.json > /dev/null; \
 	$$run --trace $$dir/b.jsonl --bench-json $$dir/bench_b.json > /dev/null; \
 	cmp $$dir/a.jsonl $$dir/b.jsonl; \
@@ -46,3 +48,20 @@ check-telemetry:
 		$$dir/bench_a.json
 
 check: lint check-plan check-report check-telemetry test
+
+# Wall-clock benchmark of the simulator itself; refreshes the checked-in
+# baseline. Timings are host-dependent — regenerate it on the reference
+# runner, not a laptop.
+perf:
+	$(PY) -m repro.cli perf --repeats 3 \
+		--out benchmarks/results/BENCH_perf.json
+	$(PY) -m repro.cli compare --check benchmarks/results/BENCH_perf.json
+
+# Figure suite, serial vs. fanned out over $(JOBS) worker processes.
+# Both share the persistent cache in .bench_cache/ (REPRO_BENCH_NO_CACHE=1
+# disables it), so a warm re-run replays results without simulating.
+bench:
+	$(PY) -m pytest benchmarks -q --benchmark-only
+
+bench-parallel:
+	REPRO_BENCH_JOBS=$(JOBS) $(PY) -m pytest benchmarks -q --benchmark-only

@@ -1,0 +1,29 @@
+"""Benchmark-session fixtures.
+
+The figure suite shares one *persistent* experiment cache across
+processes (``.bench_cache/`` by default, ``$REPRO_BENCH_CACHE`` to
+relocate it): the first invocation simulates and stores every grid
+point, a re-run replays them and regenerates every figure without a
+single new simulation. Set ``REPRO_BENCH_NO_CACHE=1`` to opt out (every
+point re-simulates, nothing is written).
+
+Parallelism is orthogonal: ``REPRO_BENCH_JOBS=N`` makes each figure
+module's prewarm fan its cache misses over N worker processes (see
+``figutil.prewarm``); the results are byte-identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import configure_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _persistent_bench_cache():
+    enabled = not os.environ.get("REPRO_BENCH_NO_CACHE")
+    configure_cache(enabled=enabled)
+    yield
+    configure_cache(enabled=False)

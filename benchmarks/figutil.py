@@ -9,9 +9,33 @@ EXPERIMENTS.md can quote the measured numbers.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List
+from typing import Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_jobs() -> int:
+    """Worker processes for prewarming figure grids (``REPRO_BENCH_JOBS``).
+
+    Defaults to 1 (serial). Results are byte-identical whatever the
+    value — parallelism only changes wall time.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def prewarm(configs: Sequence) -> None:
+    """Populate the experiment cache for a figure module's whole grid.
+
+    One ``run_many`` call simulates every cache miss up front — fanned
+    over ``REPRO_BENCH_JOBS`` worker processes when set — so the
+    ``run_cached`` calls inside the figure bodies are pure cache hits.
+    """
+    from repro.bench.runner import run_many
+
+    run_many(list(configs), jobs=bench_jobs())
 
 
 def report(figure: str, title: str, lines: Iterable[str]) -> str:

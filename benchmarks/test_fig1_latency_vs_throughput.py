@@ -16,10 +16,21 @@ import pytest
 
 from repro.bench.runner import ExperimentConfig, run_cached
 
-from figutil import once, report
+from figutil import once, prewarm, report
 
 RATE_SCALES = [0.125, 0.25, 0.5, 0.75, 1.0]
 BASE = ExperimentConfig(n_queries=60, duration_ms=120_000.0)
+GRID = [
+    replace(BASE, workload=workload, scheduler=scheduler, rate_scale=rate)
+    for workload in ("ysb", "lrb")
+    for scheduler in ("Default", "Klink")
+    for rate in RATE_SCALES
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_grid():
+    prewarm(GRID)
 
 
 def _sweep():

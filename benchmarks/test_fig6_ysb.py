@@ -24,11 +24,21 @@ import pytest
 
 from repro.bench.runner import ExperimentConfig, SCHEDULER_NAMES, run_cached
 
-from figutil import once, report, series_line
+from figutil import once, prewarm, report, series_line
 
 N_QUERIES = [1, 20, 40, 60, 80]
 BASE = ExperimentConfig(workload="ysb", duration_ms=120_000.0)
 CDF_PCTS = [40, 50, 60, 70, 80, 90, 95, 99]
+GRID = [
+    replace(BASE, scheduler=name, n_queries=n)
+    for name in SCHEDULER_NAMES
+    for n in N_QUERIES
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_grid():
+    prewarm(GRID)
 
 
 def _result(scheduler: str, n: int):

@@ -17,11 +17,25 @@ import pytest
 
 from repro.bench.runner import ExperimentConfig, run_cached
 
-from figutil import once, report, series_line
+from figutil import once, prewarm, report, series_line
 
 N_QUERIES = [1, 20, 40, 60, 80]
 SCHEDULERS = ["Default", "FCFS", "RR", "HR", "SBox", "Klink"]
 CDF_PCTS = [40, 50, 60, 70, 80, 90, 95, 99]
+GRID = [
+    ExperimentConfig(
+        workload=workload, scheduler=scheduler, n_queries=n,
+        duration_ms=120_000.0,
+    )
+    for workload in ("lrb", "nyt")
+    for scheduler in SCHEDULERS
+    for n in N_QUERIES
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_grid():
+    prewarm(GRID)
 
 
 def _result(workload: str, scheduler: str, n: int):

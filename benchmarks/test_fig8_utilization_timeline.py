@@ -18,12 +18,18 @@ import pytest
 from repro.bench.runner import ExperimentConfig, run_cached
 from repro.spe.memory import GIB
 
-from figutil import once, report
+from figutil import once, prewarm, report
 
 BASE = ExperimentConfig(workload="ysb", n_queries=60, duration_ms=120_000.0)
 #: timeline bucket for the printed series (the paper samples every 200 ms
 #: and plots an aggregate; we bucket per 10 s of simulated time)
 BUCKET_MS = 10_000.0
+GRID = [replace(BASE, scheduler=name) for name in ("Default", "Klink")]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_grid():
+    prewarm(GRID)
 
 
 def _timeline(scheduler: str):

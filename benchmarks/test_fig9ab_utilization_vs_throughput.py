@@ -19,10 +19,20 @@ import pytest
 from repro.bench.runner import ExperimentConfig, run_cached
 from repro.spe.memory import GIB
 
-from figutil import once, report, series_line
+from figutil import once, prewarm, report, series_line
 
 RATE_SCALES = [0.125, 0.25, 0.5, 0.75, 1.0, 1.25]
 BASE = ExperimentConfig(workload="ysb", n_queries=60, duration_ms=120_000.0)
+GRID = [
+    replace(BASE, scheduler=scheduler, rate_scale=rate)
+    for scheduler in ("Default", "Klink")
+    for rate in RATE_SCALES
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_grid():
+    prewarm(GRID)
 
 
 def _points(scheduler: str):

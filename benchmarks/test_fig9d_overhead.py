@@ -16,12 +16,18 @@ import pytest
 
 from repro.bench.runner import ExperimentConfig, run_cached
 
-from figutil import once, report
+from figutil import once, prewarm, report
 
 CONFIDENCES = [100.0, 99.0, 95.0, 90.0, 67.0]
 BASE = ExperimentConfig(
     workload="ysb", scheduler="Klink", n_queries=60, duration_ms=120_000.0
 )
+GRID = [replace(BASE, confidence=f) for f in CONFIDENCES]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_grid():
+    prewarm(GRID)
 
 
 @pytest.mark.benchmark(group="fig9d")

@@ -81,6 +81,9 @@ DEFAULT_FILE_ALLOWLIST: Dict[str, FrozenSet[str]] = {
     # Tracing annotates rows with host timestamps for log correlation;
     # nothing in the simulation consumes them.
     "spe/tracing.py": frozenset({"KL001"}),
+    # The perf harness times real wall-clock execution of the simulator;
+    # its measurements never feed back into simulated state.
+    "bench/perf.py": frozenset({"KL001"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset(

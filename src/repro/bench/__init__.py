@@ -1,14 +1,29 @@
 """Experiment harness regenerating the paper's evaluation figures."""
 
+from repro.bench.cache import (
+    CacheStats,
+    ResultCache,
+    cacheable,
+    code_fingerprint,
+    config_key,
+    resolve_cache_dir,
+)
 from repro.bench.runner import (
     DEFAULT_DURATION_MS,
     ExperimentConfig,
     ExperimentResult,
     SCHEDULER_NAMES,
     WORKLOAD_MEMORY_GB,
+    cache_stats,
+    clear_cache,
+    configure_cache,
+    default_cache,
     make_scheduler,
     run_cached,
     run_experiment,
+    run_many,
+    simulation_count,
+    sweep,
 )
 from repro.bench.estimation import estimator_accuracy
 
@@ -17,9 +32,22 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "run_cached",
+    "run_many",
+    "sweep",
     "make_scheduler",
     "SCHEDULER_NAMES",
     "WORKLOAD_MEMORY_GB",
     "DEFAULT_DURATION_MS",
     "estimator_accuracy",
+    "CacheStats",
+    "ResultCache",
+    "cacheable",
+    "code_fingerprint",
+    "config_key",
+    "resolve_cache_dir",
+    "cache_stats",
+    "clear_cache",
+    "configure_cache",
+    "default_cache",
+    "simulation_count",
 ]

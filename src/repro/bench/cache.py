@@ -1,0 +1,259 @@
+"""Persistent, content-addressed experiment result cache.
+
+One cache entry is one finished :class:`~repro.bench.runner.ExperimentResult`,
+keyed by a stable hash of
+
+* the full :class:`~repro.bench.runner.ExperimentConfig` (every field,
+  serialized explicitly — no reliance on dataclass ``hash``/identity
+  semantics), and
+* a *code fingerprint*: the SHA-256 of every ``.py`` file in the installed
+  ``repro`` package.
+
+Because the simulator is seed-deterministic, a (config, code) pair fully
+determines the run's output, so replaying a cached result is
+indistinguishable from re-simulating it — which is what makes warm re-runs
+of the figure suite and CI near-instant. Any source change anywhere in the
+package invalidates every entry (coarse, but sound: scheduling output can
+depend on any module), which is the cache's only invalidation rule besides
+an explicit :meth:`ResultCache.clear`.
+
+Entries are pickles written atomically (``os.replace``), so concurrent
+sweep workers racing on the same key simply overwrite each other with
+identical bytes. The cache directory is trusted local state: entries are
+unpickled on load, so never point ``--cache-dir`` at untrusted files.
+
+Configs that stream side effects to disk (``trace_path``) are never
+cached — replaying them would skip writing the trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+#: bump to invalidate all existing cache entries on format changes
+CACHE_FORMAT_VERSION = 1
+
+#: default cache directory (relative to the working directory)
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+#: environment variable overriding the default cache directory
+CACHE_DIR_ENV = "REPRO_BENCH_CACHE"
+
+_FINGERPRINT_MEMO: Optional[str] = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """SHA-256 over every ``.py`` source file of the ``repro`` package.
+
+    Computed once per process (the package does not change under a running
+    interpreter); ``refresh=True`` forces a recomputation (tests).
+    """
+    global _FINGERPRINT_MEMO
+    if _FINGERPRINT_MEMO is not None and not refresh:
+        return _FINGERPRINT_MEMO
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as fh:
+                digest.update(hashlib.sha256(fh.read()).digest())
+    _FINGERPRINT_MEMO = digest.hexdigest()
+    return _FINGERPRINT_MEMO
+
+
+def config_identity(config: Any) -> str:
+    """Canonical JSON identity of an ExperimentConfig (all fields, sorted
+    keys) — the explicit cache key, independent of dataclass identity or
+    field declaration order."""
+    fields = dataclasses.asdict(config)
+    return json.dumps(fields, sort_keys=True, default=list)
+
+
+def config_key(config: Any, fingerprint: Optional[str] = None) -> str:
+    """Content address of one experiment point: config + code version."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT_VERSION,
+            "config": config_identity(config),
+            "code": fingerprint,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def cacheable(config: Any) -> bool:
+    """True when a config's result may be replayed from the cache.
+
+    Traced runs are excluded: their observable output includes the JSONL
+    file streamed to ``trace_path``, which a cache replay would not write.
+    """
+    return getattr(config, "trace_path", None) is None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+
+class ResultCache:
+    """Directory of pickled experiment results, one file per config key.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` (fan-out subdirectories keep
+    any single directory small). Files carry the full key and the config
+    identity, verified on load.
+    """
+
+    def __init__(self, root: str, fingerprint: Optional[str] = None) -> None:
+        self.root = os.path.abspath(root)
+        self._fingerprint = fingerprint
+        self.stats = CacheStats()
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = code_fingerprint()
+        return self._fingerprint
+
+    def key(self, config: Any) -> str:
+        return config_key(config, self.fingerprint)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, config: Any) -> Optional[Any]:
+        """Cached ExperimentResult for ``config``, or None on a miss.
+
+        A corrupt or mismatched entry counts as a miss (and an error) —
+        the caller re-simulates and overwrites it.
+        """
+        if not cacheable(config):
+            return None
+        key = self.key(config)
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != CACHE_FORMAT_VERSION
+            or entry.get("key") != key
+        ):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["result"]
+
+    # -- store --------------------------------------------------------------
+
+    def put(self, config: Any, result: Any) -> bool:
+        """Persist one result; returns False (never raises) when the
+        result cannot be pickled or the directory cannot be written."""
+        if not cacheable(config):
+            return False
+        key = self.key(config)
+        path = self._path(key)
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "identity": config_identity(config),
+            "result": result,
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic: racing writers are safe
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> List[str]:
+        """Keys of every entry currently on disk (sorted)."""
+        keys = []
+        if not os.path.isdir(self.root):
+            return keys
+        for dirpath, dirnames, filenames in sorted(os.walk(self.root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if filename.endswith(".pkl"):
+                    keys.append(filename[: -len(".pkl")])
+        return sorted(keys)
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for key in self.entries():
+            try:
+                os.unlink(self._path(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultCache({self.root!r}, entries={len(self)})"
+
+
+def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
+    """Effective cache directory: explicit arg > env var > default."""
+    if cache_dir:
+        return cache_dir
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR

@@ -16,8 +16,20 @@ differ; the comparisons between policies are the reproduced object.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import re
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.cache import (
+    CacheStats,
+    ResultCache,
+    cacheable,
+    config_key,
+    resolve_cache_dir,
+)
 
 from repro.core.baselines import (
     DefaultScheduler,
@@ -273,29 +285,267 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     )
 
 
-_CACHE: Dict[ExperimentConfig, ExperimentResult] = {}
+# ---------------------------------------------------------------------------
+# Result caching (in-memory L1 + optional persistent L2) and parallel sweeps
+# ---------------------------------------------------------------------------
+
+#: in-memory session cache, keyed by the *explicit* content address from
+#: repro.bench.cache (config fields + code fingerprint), not by dataclass
+#: identity. LRU-bounded so a long pytest session cannot grow it without
+#: limit; the figure-suite grid is ~150 points, well under the bound.
+_MEMORY_CACHE: "OrderedDict[str, ExperimentResult]" = OrderedDict()
+_MEMORY_CACHE_LIMIT = 512
+
+#: module-default persistent cache; ``_UNSET`` sentinel distinguishes
+#: "use the configured default" from an explicit ``cache=None`` (disable).
+_UNSET = object()
+_DEFAULT_CACHE: Optional[ResultCache] = None
+
+#: experiments actually simulated (cache misses) this process — parallel
+#: points run in worker processes still count here, via the parent.
+_SIMULATIONS = 0
+
+#: cumulative in-memory cache hits (parallel to ResultCache.stats.hits)
+_MEMORY_HITS = 0
 
 
-def run_cached(config: ExperimentConfig) -> ExperimentResult:
-    """Run an experiment once per session; reuse across figures.
+def configure_cache(
+    cache_dir: Optional[str] = None, enabled: bool = True
+) -> Optional[ResultCache]:
+    """Set the module-default persistent cache used by ``run_cached`` /
+    ``sweep`` when no explicit ``cache=`` is passed.
+
+    ``configure_cache()`` enables it at the conventional location
+    (``.bench_cache/``, or ``$REPRO_BENCH_CACHE``); ``enabled=False``
+    disables persistent caching. Returns the active cache (or None).
+    """
+    global _DEFAULT_CACHE
+    if not enabled:
+        _DEFAULT_CACHE = None
+        return None
+    _DEFAULT_CACHE = ResultCache(resolve_cache_dir(cache_dir))
+    return _DEFAULT_CACHE
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The configured persistent cache (None when disabled, the default)."""
+    return _DEFAULT_CACHE
+
+
+def _resolve_cache(cache: object) -> Optional[ResultCache]:
+    if cache is _UNSET:
+        return _DEFAULT_CACHE
+    return cache  # type: ignore[return-value]
+
+
+def clear_cache(persistent: bool = False) -> None:
+    """Drop every in-memory cached result (and reset its counters).
+
+    With ``persistent=True`` the configured on-disk cache is wiped too.
+    Exposed for test isolation — see the autouse-able fixture in
+    ``tests/conftest.py``.
+    """
+    global _MEMORY_HITS, _SIMULATIONS
+    _MEMORY_CACHE.clear()
+    _MEMORY_HITS = 0
+    _SIMULATIONS = 0
+    if persistent and _DEFAULT_CACHE is not None:
+        _DEFAULT_CACHE.clear()
+        _DEFAULT_CACHE.stats = CacheStats()
+
+
+def simulation_count() -> int:
+    """Experiments actually simulated (not replayed) by this process."""
+    return _SIMULATIONS
+
+
+def cache_stats() -> Dict[str, int]:
+    """Combined cache accounting: memory hits/size plus persistent stats."""
+    stats: Dict[str, int] = {
+        "memory_hits": _MEMORY_HITS,
+        "memory_entries": len(_MEMORY_CACHE),
+        "simulations": _SIMULATIONS,
+    }
+    if _DEFAULT_CACHE is not None:
+        for name, value in _DEFAULT_CACHE.stats.as_dict().items():
+            stats[f"persistent_{name}"] = value
+    return stats
+
+
+def _memory_get(key: str) -> Optional[ExperimentResult]:
+    global _MEMORY_HITS
+    result = _MEMORY_CACHE.get(key)
+    if result is not None:
+        _MEMORY_CACHE.move_to_end(key)
+        _MEMORY_HITS += 1
+    return result
+
+
+def _memory_put(key: str, result: ExperimentResult) -> None:
+    _MEMORY_CACHE[key] = result
+    _MEMORY_CACHE.move_to_end(key)
+    while len(_MEMORY_CACHE) > _MEMORY_CACHE_LIMIT:
+        _MEMORY_CACHE.popitem(last=False)
+
+
+def run_cached(
+    config: ExperimentConfig, *, cache: object = _UNSET
+) -> ExperimentResult:
+    """Run an experiment once; reuse across figures, sessions, and CI.
 
     Figures 6a/6c/6d, for example, are different projections of the same
-    query-count sweep; caching keeps the full bench suite tractable.
+    query-count sweep; the in-memory cache shares points within a session
+    and the persistent cache (when configured) shares them across
+    processes. Traced configs always run (see ``cache.cacheable``).
     """
-    if config not in _CACHE:
-        _CACHE[config] = run_experiment(config)
-    return _CACHE[config]
+    persistent = _resolve_cache(cache)
+    fingerprint = persistent.fingerprint if persistent is not None else None
+    key = config_key(config, fingerprint)
+    if cacheable(config):
+        result = _memory_get(key)
+        if result is not None:
+            return result
+        if persistent is not None:
+            result = persistent.get(config)
+            if result is not None:
+                _memory_put(key, result)
+                return result
+    result = _run_counted(config)
+    if cacheable(config):
+        _memory_put(key, result)
+        if persistent is not None:
+            persistent.put(config, result)
+    return result
+
+
+def _run_counted(config: ExperimentConfig) -> ExperimentResult:
+    global _SIMULATIONS
+    _SIMULATIONS += 1
+    return run_experiment(config)
+
+
+def _pool_worker_init(sys_path: List[str]) -> None:
+    """Align a spawned worker's module search path with the parent's, so
+    workers resolve the same ``repro`` package the parent runs."""
+    import sys
+
+    sys.path[:] = sys_path
+
+
+def _pool_worker_run(config: ExperimentConfig) -> ExperimentResult:
+    return run_experiment(config)
+
+
+def run_many(
+    configs: Sequence[ExperimentConfig],
+    *,
+    jobs: int = 1,
+    cache: object = _UNSET,
+) -> List[ExperimentResult]:
+    """Run many independent experiment points, cached and optionally in
+    parallel.
+
+    Points already cached (memory or persistent) are replayed; the
+    remaining misses are simulated — serially for ``jobs <= 1``, else
+    fanned out over ``jobs`` spawn-based worker processes. Results come
+    back in input order regardless of completion order, and every run is
+    seed-deterministic in its own process, so the output (summaries and
+    any JSONL traces) is byte-identical whatever ``jobs`` is.
+
+    Duplicate configs are simulated once. ``spawn`` (not ``fork``) is
+    used so workers start from a clean interpreter on every platform —
+    no inherited caches, RNG state, or open trace files.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    global _SIMULATIONS
+    persistent = _resolve_cache(cache)
+    fingerprint = persistent.fingerprint if persistent is not None else None
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    pending: "OrderedDict[str, List[int]]" = OrderedDict()
+    pending_configs: List[ExperimentConfig] = []
+    for index, config in enumerate(configs):
+        key = config_key(config, fingerprint)
+        if cacheable(config):
+            result = _memory_get(key)
+            if result is None and persistent is not None:
+                result = persistent.get(config)
+                if result is not None:
+                    _memory_put(key, result)
+            if result is not None:
+                results[index] = result
+                continue
+            if key in pending:  # duplicate point: simulate once
+                pending[key].append(index)
+                continue
+        else:
+            # Traced configs are never deduplicated or cached: each one
+            # must actually run to produce its side-effect file.
+            key = f"uncached-{index}"
+        pending[key] = [index]
+        pending_configs.append(config)
+    if pending_configs:
+        _SIMULATIONS += len(pending_configs)
+        if jobs == 1 or len(pending_configs) == 1:
+            fresh = [run_experiment(cfg) for cfg in pending_configs]
+        else:
+            import sys
+
+            ctx = multiprocessing.get_context("spawn")
+            workers = min(jobs, len(pending_configs))
+            with ctx.Pool(
+                processes=workers,
+                initializer=_pool_worker_init,
+                initargs=(list(sys.path),),
+            ) as pool:
+                fresh = pool.map(_pool_worker_run, pending_configs)
+        for (key, indexes), config, result in zip(
+            pending.items(), pending_configs, fresh
+        ):
+            if cacheable(config):
+                _memory_put(key, result)
+                if persistent is not None:
+                    persistent.put(config, result)
+            for index in indexes:
+                results[index] = result
+    out = [result for result in results if result is not None]
+    assert len(out) == len(configs)
+    return out
+
+
+def _trace_name(config: ExperimentConfig) -> str:
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", config.scheduler).strip("-")
+    return f"{config.workload}_{safe}_n{config.n_queries}.jsonl"
 
 
 def sweep(
     base: ExperimentConfig,
     schedulers: List[str],
     n_queries: List[int],
+    *,
+    jobs: int = 1,
+    cache: object = _UNSET,
+    trace_dir: Optional[str] = None,
 ) -> Dict[Tuple[str, int], ExperimentResult]:
-    """Run a (scheduler x query-count) sweep with caching."""
-    out = {}
-    for name in schedulers:
-        for n in n_queries:
-            cfg = replace(base, scheduler=name, n_queries=n)
-            out[(name, n)] = run_cached(cfg)
-    return out
+    """Run a (scheduler x query-count) sweep, cached and parallel.
+
+    With ``trace_dir`` set, every point streams its full JSONL run trace
+    to ``<trace_dir>/<workload>_<scheduler>_n<N>.jsonl`` (such points
+    always simulate; traced runs are not cacheable).
+    """
+    grid = [
+        replace(base, scheduler=name, n_queries=n)
+        for name in schedulers
+        for n in n_queries
+    ]
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        grid = [
+            replace(cfg, trace_path=os.path.join(trace_dir, _trace_name(cfg)))
+            for cfg in grid
+        ]
+    results = run_many(grid, jobs=jobs, cache=cache)
+    return {
+        (cfg.scheduler, cfg.n_queries): result
+        for cfg, result in zip(grid, results)
+    }

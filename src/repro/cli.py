@@ -4,6 +4,8 @@ Usage (installed as ``repro-bench``, or ``python -m repro.cli``)::
 
     repro-bench run --workload ysb --scheduler Klink --queries 60
     repro-bench sweep --workload lrb --queries 20 40 60 --schedulers Default Klink
+    repro-bench sweep --workload ysb --jobs 4 --no-cache
+    repro-bench perf --jobs 4 --out benchmarks/results/BENCH_perf.json
     repro-bench report --workload ysb --scheduler Klink --queries 8 --duration 30
     repro-bench report --trace trace.jsonl --format json
     repro-bench report --trace trace.jsonl --chrome flame.json
@@ -32,7 +34,10 @@ from repro.bench.runner import (
     ExperimentConfig,
     SCHEDULER_NAMES,
     WORKLOAD_MEMORY_GB,
+    configure_cache,
+    run_cached,
     run_experiment,
+    sweep,
     trace_from_result,
 )
 from repro.core.estimator import SwmIngestionEstimator
@@ -164,6 +169,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "'queue_depth growing for 10 samples'; repeatable "
              "(default: the built-in SLO rule set)",
     )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result-cache directory (default: "
+             "$REPRO_BENCH_CACHE or .bench_cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache: every point simulates "
+             "and nothing is written to the cache directory",
+    )
+
+
+def _configure_cli_cache(args: argparse.Namespace) -> None:
+    """Apply the run/sweep caching flags to the module-default cache."""
+    configure_cache(args.cache_dir, enabled=not args.no_cache)
 
 
 def _telemetry_fields(args: argparse.Namespace) -> dict:
@@ -211,7 +231,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.bench_json:
         # Snapshots are summarized from the full trace sections.
         cfg = replace(cfg, audit=True, profile=True, telemetry=True)
-    res = run_experiment(cfg)
+    _configure_cli_cache(args)
+    res = run_cached(cfg)
     if args.trace:
         print(f"[trace] wrote {args.trace}")
     if args.bench_json:
@@ -243,12 +264,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         validate=not args.no_validate,
         **_telemetry_fields(args),
     )
+    _configure_cli_cache(args)
+    grid = sweep(base, args.schedulers, args.queries, jobs=args.jobs)
     rows = []
     results = []
     for scheduler in args.schedulers:
         for n in args.queries:
-            cfg = replace(base, scheduler=scheduler, n_queries=n)
-            res = run_experiment(cfg)
+            res = grid[(scheduler, n)]
             results.append(res)
             rows.append(_summary_row(res))
     _print_rows(rows)
@@ -354,6 +376,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.obs.compare import (
         CompareThresholds,
+        check_snapshot,
         compare_snapshots,
         dumps_snapshot,
         load_input,
@@ -370,12 +393,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"[compare] ERROR: {exc}", file=sys.stderr)
         return 2
+    if args.check:
+        failed = False
+        for path, snapshot in zip(args.paths, snapshots):
+            problems = check_snapshot(snapshot)
+            for problem in problems:
+                print(f"[check] {path}: {problem}", file=sys.stderr)
+            if problems:
+                failed = True
+            else:
+                print(f"[check] OK: {path}", file=sys.stderr)
+        if failed:
+            return 1
     current = snapshots[-1]
     if args.emit:
         write_snapshot(args.emit, current)
         print(f"[compare] wrote {args.emit}", file=sys.stderr)
     if len(snapshots) == 1:
-        if not args.emit:
+        if not args.emit and not args.check:
             print(dumps_snapshot(current), end="")
         return 0
     thresholds = CompareThresholds(
@@ -393,6 +428,38 @@ def cmd_compare(args: argparse.Namespace) -> int:
     else:
         print(render_comparison(result))
     return 0 if result.ok else 1
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench.perf import render_perf, run_perf
+    from repro.obs.compare import (
+        compare_snapshots,
+        load_snapshot,
+        render_comparison,
+        write_snapshot,
+    )
+
+    try:
+        snapshot = run_perf(jobs=args.jobs, repeats=args.repeats)
+    except ValueError as exc:
+        print(f"[perf] ERROR: {exc}", file=sys.stderr)
+        return 2
+    print(render_perf(snapshot))
+    if args.out:
+        write_snapshot(args.out, snapshot)
+        print(f"[perf] wrote {args.out}", file=sys.stderr)
+    if args.baseline:
+        try:
+            baseline = load_snapshot(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"[perf] ERROR: {exc}", file=sys.stderr)
+            return 2
+        result = compare_snapshots(baseline, snapshot)
+        print(render_comparison(result))
+        # Wall time is machine-dependent; callers decide whether a
+        # regression verdict is binding (CI runs this warn-only).
+        return 0 if result.ok else 1
+    return 0
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
@@ -550,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="allowed deadline-miss increase (default 0)")
     compare_p.add_argument("--format", default="text",
                            choices=["text", "json"])
+    compare_p.add_argument(
+        "--check", action="store_true",
+        help="structurally validate every input snapshot (shape, finite "
+             "numbers, non-negative counts); non-zero exit on problems",
+    )
     compare_p.set_defaults(func=cmd_compare)
 
     sweep_p = sub.add_parser("sweep", help="sweep query counts x schedulers")
@@ -558,7 +630,38 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=SCHEDULER_NAMES)
     sweep_p.add_argument("--queries", nargs="+", type=int,
                          default=[20, 40, 60, 80])
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan cache-miss points over N worker processes (results "
+             "are byte-identical to a serial run; default 1)",
+    )
     sweep_p.set_defaults(func=cmd_sweep)
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="time the simulator itself (wall clock) over a pinned "
+             "YSB/LRB grid and emit a BENCH_perf.json snapshot",
+    )
+    perf_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="also time a parallel pass with N workers and report the "
+             "speedup over serial (default 1: serial only)",
+    )
+    perf_p.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help="time each grid point N times and keep the fastest "
+             "(default 1)",
+    )
+    perf_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the perf snapshot (BENCH_perf.json format) to PATH",
+    )
+    perf_p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against a baseline perf snapshot; non-zero exit "
+             "on regression (advisory: wall time is machine-dependent)",
+    )
+    perf_p.set_defaults(func=cmd_perf)
 
     est_p = sub.add_parser("estimate", help="SWM estimator accuracy")
     est_p.add_argument("--estimator", default="klink", choices=["klink", "lr"])

@@ -74,6 +74,7 @@ from repro.obs.alerts import (
 from repro.obs.compare import (
     CompareThresholds,
     ComparisonResult,
+    check_snapshot,
     compare_snapshots,
     load_snapshot,
     render_comparison,
@@ -143,6 +144,7 @@ __all__ = [
     "write_chrome_trace",
     "CompareThresholds",
     "ComparisonResult",
+    "check_snapshot",
     "compare_snapshots",
     "snapshot_from_trace",
     "load_snapshot",

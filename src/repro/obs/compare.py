@@ -146,6 +146,115 @@ def load_input(path: str) -> Dict[str, Any]:
     )
 
 
+def _finite_or_none(value: Any) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(float(value))
+
+
+def _count_ok(value: Any) -> bool:
+    return (
+        isinstance(value, int) and not isinstance(value, bool) and value >= 0
+    )
+
+
+def check_snapshot(snapshot: Mapping[str, Any]) -> List[str]:
+    """Structurally validate a snapshot; returns problems (empty = valid).
+
+    This is the shape contract behind ``repro-bench compare --check``:
+    every metric ``compare_snapshots`` reads must be present and of the
+    comparable type (numeric values finite or ``null``, counts
+    non-negative integers). Extra keys are allowed — emitters may attach
+    detail sections (e.g. the perf harness's ``points``).
+    """
+    problems: List[str] = []
+    version = snapshot.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        problems.append(
+            f"snapshot_version: expected {SNAPSHOT_VERSION}, got {version!r}"
+        )
+    latency = snapshot.get("latency_ms")
+    if not isinstance(latency, Mapping):
+        problems.append("latency_ms: missing or not an object")
+    else:
+        for pct in ("mean", "p50", "p90", "p99"):
+            if pct not in latency:
+                problems.append(f"latency_ms.{pct}: missing")
+            elif not _finite_or_none(latency[pct]):
+                problems.append(
+                    f"latency_ms.{pct}: not a finite number or null: "
+                    f"{latency[pct]!r}"
+                )
+    if "throughput_eps" not in snapshot:
+        problems.append("throughput_eps: missing")
+    elif not _finite_or_none(snapshot["throughput_eps"]):
+        problems.append(
+            "throughput_eps: not a finite number or null: "
+            f"{snapshot['throughput_eps']!r}"
+        )
+    if not _count_ok(snapshot.get("deadline_misses")):
+        problems.append(
+            "deadline_misses: not a non-negative integer: "
+            f"{snapshot.get('deadline_misses')!r}"
+        )
+    lag = snapshot.get("watermark_lag_ms")
+    if not isinstance(lag, Mapping):
+        problems.append("watermark_lag_ms: missing or not an object")
+    else:
+        for key in ("mean", "max"):
+            if not _finite_or_none(lag.get(key)):
+                problems.append(
+                    f"watermark_lag_ms.{key}: not a finite number or "
+                    f"null: {lag.get(key)!r}"
+                )
+    alerts = snapshot.get("alerts")
+    if not isinstance(alerts, Mapping):
+        problems.append("alerts: missing or not an object")
+    else:
+        if not _count_ok(alerts.get("total")):
+            problems.append(
+                f"alerts.total: not a non-negative integer: "
+                f"{alerts.get('total')!r}"
+            )
+        by_rule = alerts.get("by_rule")
+        if not isinstance(by_rule, Mapping):
+            problems.append("alerts.by_rule: missing or not an object")
+        else:
+            for rule, count in by_rule.items():
+                if not _count_ok(count):
+                    problems.append(
+                        f"alerts.by_rule[{rule!r}]: not a non-negative "
+                        f"integer: {count!r}"
+                    )
+    if not _count_ok(snapshot.get("series_count")):
+        problems.append(
+            "series_count: not a non-negative integer: "
+            f"{snapshot.get('series_count')!r}"
+        )
+    operators = snapshot.get("hottest_operators")
+    if not isinstance(operators, Sequence) or isinstance(operators, str):
+        problems.append("hottest_operators: missing or not an array")
+    else:
+        for i, op in enumerate(operators):
+            if not isinstance(op, Mapping):
+                problems.append(f"hottest_operators[{i}]: not an object")
+                continue
+            if not isinstance(op.get("name"), str):
+                problems.append(
+                    f"hottest_operators[{i}].name: not a string: "
+                    f"{op.get('name')!r}"
+                )
+            cpu_ms = op.get("cpu_ms")
+            if cpu_ms is None or not _finite_or_none(cpu_ms):
+                problems.append(
+                    f"hottest_operators[{i}].cpu_ms: not a finite "
+                    f"number: {cpu_ms!r}"
+                )
+    return problems
+
+
 @dataclass(frozen=True)
 class CompareThresholds:
     """Regression tolerances (all relative thresholds in percent)."""

@@ -178,7 +178,12 @@ class OperatorProfiler:
                 self._hwm.get(self._key(query.query_id, op), _HighWater())
                 for op in members
             ]
-            entry_ops = {binding.operator for binding in query.bindings}
+            # Dedup preserving binding order: a set here would float-sum
+            # events_in in hash order, making the trace byte-unstable for
+            # multi-source queries (joins) across PYTHONHASHSEED values.
+            entry_ops = list(
+                dict.fromkeys(binding.operator for binding in query.bindings)
+            )
             events_in = sum(op.stats.events_in for op in entry_ops)
             hottest = max(members, key=lambda op: op.stats.busy_ms)
             out.append(

@@ -25,6 +25,7 @@ Sec. 2.2: the output operator receives the window's events before the SWM).
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, List, Optional, Tuple
 
@@ -103,10 +104,19 @@ class Operator:
         self.selectivity = float(selectivity)
         self.out_bytes_per_event = int(out_bytes_per_event)
         self.inputs: List[Channel] = [
-            Channel(f"{name}.in{i}") for i in range(n_inputs)
+            Channel(f"{name}.in{i}", owner=self) for i in range(n_inputs)
         ]
         self.output: Optional[Channel] = None  # wired by Query
         self.stats = OperatorStats()
+        # Memoized queue aggregates: schedulers, the memory policy, the
+        # audit log, and the telemetry sampler all read queued_events /
+        # queued_bytes several times per scheduling cycle. The input
+        # channels mark this flag on every enqueue/dequeue, so the sums
+        # are recomputed at most once per channel mutation instead of on
+        # every read (byte-identical: the same sum over the same values).
+        self._queues_dirty = True
+        self._queued_events_memo = 0.0
+        self._queued_bytes_memo = 0.0
 
     # -- wiring --------------------------------------------------------------
 
@@ -116,14 +126,23 @@ class Operator:
 
     # -- scheduler-facing introspection ---------------------------------------
 
+    def _refresh_queue_memo(self) -> None:
+        self._queued_events_memo = sum(ch.queued_events for ch in self.inputs)
+        self._queued_bytes_memo = sum(ch.queued_bytes for ch in self.inputs)
+        self._queues_dirty = False
+
     @property
     def queued_events(self) -> float:
         """Payload events waiting across all input channels."""
-        return sum(ch.queued_events for ch in self.inputs)
+        if self._queues_dirty:
+            self._refresh_queue_memo()
+        return self._queued_events_memo
 
     @property
     def queued_bytes(self) -> float:
-        return sum(ch.queued_bytes for ch in self.inputs)
+        if self._queues_dirty:
+            self._refresh_queue_memo()
+        return self._queued_bytes_memo
 
     @property
     def state_events(self) -> float:
@@ -349,6 +368,14 @@ class _WindowedOperatorBase(Operator):
         # pane start -> accumulated event count
         self._panes: Dict[float, float] = {}
         self._pane_ends: Dict[float, float] = {}
+        # Min-heap of (deadline, pane start), kept in lockstep with
+        # _pane_ends: pushed when a pane is first buffered, popped when it
+        # fires. Gives O(log n) firing and O(1) next_deadline instead of
+        # scanning + sorting the whole pane table on every watermark and
+        # every scheduler collect. Heap order (end, then start) matches
+        # the firing order of a per-watermark sort because a single
+        # assigner's pane ends are monotone in their starts.
+        self._pane_heap: List[Tuple[float, float]] = []
         # per-input last watermark (event-time clock per stream)
         self._input_watermarks: List[float] = [-math.inf] * n_inputs
         self._event_clock: float = -math.inf  # combined (min) watermark
@@ -378,13 +405,16 @@ class _WindowedOperatorBase(Operator):
         return self._event_clock
 
     def next_deadline(self, after: float) -> float:
-        pending = [end for end in self._pane_ends.values() if end > self._event_clock]
-        candidates = pending or [self.assigner.next_deadline(max(after, self._event_clock, 0.0))]
-        return min(candidates)
+        # Every buffered pane's end is > the event clock (due panes are
+        # popped the moment the clock advances, late panes are never
+        # buffered), so the heap head IS the earliest pending deadline.
+        if self._pane_heap:
+            return self._pane_heap[0][0]
+        return self.assigner.next_deadline(max(after, self._event_clock, 0.0))
 
     def pending_pane_deadlines(self) -> List[float]:
         """Deadlines of panes buffered but not yet fired (sorted)."""
-        return sorted(end for end in self._pane_ends.values())
+        return sorted(end for end, _ in self._pane_heap)
 
     # -- record handlers -----------------------------------------------------------
 
@@ -409,7 +439,9 @@ class _WindowedOperatorBase(Operator):
                 self.stats.late_events_dropped += pane_count
                 continue
             self._panes[pane.start] = self._panes.get(pane.start, 0.0) + pane_count
-            self._pane_ends.setdefault(pane.start, pane.end)
+            if pane.start not in self._pane_ends:
+                self._pane_ends[pane.start] = pane.end
+                heapq.heappush(self._pane_heap, (pane.end, pane.start))
 
     def _on_watermark(self, wm: Watermark, input_index: int, now: float) -> None:
         if wm.timestamp <= self._input_watermarks[input_index]:
@@ -429,15 +461,12 @@ class _WindowedOperatorBase(Operator):
         )
 
     def _fire_due_panes(self, up_to: float, now: float) -> bool:
-        due = [
-            start
-            for start, end in self._pane_ends.items()
-            if end <= up_to
-        ]
-        if not due:
+        heap = self._pane_heap
+        if not heap or heap[0][0] > up_to:
             return False
-        for start in sorted(due):
-            end = self._pane_ends.pop(start)
+        while heap and heap[0][0] <= up_to:
+            end, start = heapq.heappop(heap)
+            del self._pane_ends[start]
             buffered = self._panes.pop(start, 0.0)
             out_count = self._pane_output_count(buffered)
             self.stats.panes_fired += 1

@@ -30,11 +30,16 @@ class Channel:
     network hop of a distributed deployment, Sec. 4).
     """
 
-    def __init__(self, name: str = "", latency_ms: float = 0.0) -> None:
+    def __init__(
+        self, name: str = "", latency_ms: float = 0.0, owner: object = None
+    ) -> None:
         if latency_ms < 0:
             raise ValueError(f"negative channel latency: {latency_ms}")
         self.name = name
         self.latency_ms = latency_ms
+        #: consuming operator (if any); its memoized queue aggregates are
+        #: invalidated whenever this channel's payload accounting changes.
+        self._owner = owner
         self._entries: Deque[_Entry] = deque()
         self._pending: Deque[_Entry] = deque()  # in-flight cross-node records
         self._queued_events: float = 0.0
@@ -57,6 +62,8 @@ class Channel:
             self._queued_events += record.count
             self._queued_bytes += record.bytes
             self.events_pushed += record.count
+            if self._owner is not None:
+                self._owner._queues_dirty = True
 
     def release(self, now: float) -> int:
         """Deliver in-flight records whose transfer completed; returns count."""
@@ -68,6 +75,8 @@ class Channel:
                 self._queued_events += entry.record.count
                 self._queued_bytes += entry.record.bytes
                 self.events_pushed += entry.record.count
+                if self._owner is not None:
+                    self._owner._queues_dirty = True
             released += 1
         return released
 
@@ -78,6 +87,8 @@ class Channel:
             self._queued_events += record.count
             self._queued_bytes += record.bytes
             self.events_returned += record.count
+            if self._owner is not None:
+                self._owner._queues_dirty = True
 
     # -- consumer side -----------------------------------------------------
 
@@ -96,6 +107,8 @@ class Channel:
                 self._queued_events = 0.0
             if self._queued_bytes < 1e-6:
                 self._queued_bytes = 0.0
+            if self._owner is not None:
+                self._owner._queues_dirty = True
         return entry
 
     def peek(self) -> Optional[_Entry]:
@@ -149,6 +162,8 @@ class Channel:
         self._entries.clear()
         self._queued_events = 0.0
         self._queued_bytes = 0.0
+        if self._owner is not None:
+            self._owner._queues_dirty = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

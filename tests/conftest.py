@@ -7,6 +7,29 @@ import pytest
 from tests.helpers import make_join_query, make_simple_query
 
 
+@pytest.fixture(autouse=True)
+def _bench_cache_isolation(tmp_path, monkeypatch):
+    """Keep the experiment cache test-local.
+
+    Each test starts with an empty in-memory result cache, no persistent
+    cache configured, and zeroed hit/simulation counters, and leaks none
+    of them to the next test — the suite's memory footprint stays bounded
+    and no test can observe another's cached results. The cache-dir env
+    var is pointed into tmp so code that enables the persistent cache at
+    its default location (e.g. the CLI commands) never writes into the
+    working tree.
+    """
+    from repro.bench.cache import CACHE_DIR_ENV
+    from repro.bench.runner import clear_cache, configure_cache
+
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "bench_cache"))
+    configure_cache(enabled=False)
+    clear_cache()
+    yield
+    configure_cache(enabled=False)
+    clear_cache()
+
+
 @pytest.fixture
 def simple_query():
     return make_simple_query()

@@ -1,0 +1,252 @@
+"""Unit tests for the persistent result cache and the cached runner.
+
+Small configs throughout (1-2 queries, a few simulated seconds): the
+object under test is the cache machinery, not the simulation.
+"""
+
+import json
+import math
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cacheable,
+    code_fingerprint,
+    config_identity,
+    config_key,
+    resolve_cache_dir,
+)
+from repro.bench.runner import (
+    ExperimentConfig,
+    cache_stats,
+    clear_cache,
+    configure_cache,
+    default_cache,
+    run_cached,
+    run_many,
+    simulation_count,
+)
+
+TINY = ExperimentConfig(
+    workload="ysb", scheduler="Default", n_queries=1,
+    duration_ms=5_000.0, cores=4, seed=42,
+)
+
+
+def canon_summary(result):
+    """NaN-tolerant canonical form (short runs have NaN percentiles)."""
+    return json.dumps(result.summary, sort_keys=True, default=str)
+
+
+class TestConfigKey:
+    def test_stable_across_equal_configs(self):
+        a = ExperimentConfig(seed=3)
+        b = ExperimentConfig(seed=3)
+        assert config_key(a) == config_key(b)
+
+    def test_sensitive_to_every_changed_field(self):
+        base = config_key(TINY)
+        for variant in (
+            replace(TINY, seed=43),
+            replace(TINY, n_queries=2),
+            replace(TINY, scheduler="FCFS"),
+            replace(TINY, rate_scale=0.5),
+        ):
+            assert config_key(variant) != base
+
+    def test_sensitive_to_code_fingerprint(self):
+        assert config_key(TINY, "aaaa") != config_key(TINY, "bbbb")
+
+    def test_identity_is_canonical_json(self):
+        identity = json.loads(config_identity(TINY))
+        assert identity["workload"] == "ysb"
+        assert identity["seed"] == 42
+        assert list(identity) == sorted(identity)
+
+    def test_fingerprint_is_memoized_and_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex
+
+    def test_traced_configs_are_not_cacheable(self):
+        assert cacheable(TINY)
+        traced = ExperimentConfig(trace_path="/tmp/t.jsonl")
+        assert not cacheable(traced)
+
+
+class TestResolveCacheDir:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "/env/dir")
+        assert resolve_cache_dir("/arg/dir") == "/arg/dir"
+
+    def test_env_var_beats_default(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "/env/dir")
+        assert resolve_cache_dir() == "/env/dir"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert resolve_cache_dir() == DEFAULT_CACHE_DIR
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = run_cached(TINY, cache=None)
+        assert cache.get(TINY) is None  # cold
+        assert cache.put(TINY, result)
+        loaded = cache.get(TINY)
+        assert loaded is not None
+        assert canon_summary(loaded) == canon_summary(result)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = run_cached(TINY, cache=None)
+        assert cache.put(TINY, result)
+        [key] = cache.entries()
+        path = cache._path(key)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert cache.get(TINY) is None
+        assert cache.stats.errors == 1
+
+    def test_wrong_key_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = run_cached(TINY, cache=None)
+        assert cache.put(TINY, result)
+        [key] = cache.entries()
+        path = cache._path(key)
+        with open(path, "rb") as fh:
+            entry = pickle.load(fh)
+        entry["key"] = "0" * 64
+        with open(path, "wb") as fh:
+            pickle.dump(entry, fh)
+        assert cache.get(TINY) is None
+        assert cache.stats.errors == 1
+
+    def test_traced_config_never_stored(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = run_cached(TINY, cache=None)
+        traced = replace(TINY, trace_path=str(tmp_path / "t.jsonl"))
+        assert not cache.put(traced, result)
+        assert len(cache) == 0
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = run_cached(TINY, cache=None)
+        cache.put(TINY, result)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunCached:
+    def test_memory_hit_returns_same_object(self):
+        assert run_cached(TINY) is run_cached(TINY)
+        assert simulation_count() == 1
+        assert cache_stats()["memory_hits"] == 1
+
+    def test_persistent_replay_zero_simulations(self, tmp_path):
+        configure_cache(str(tmp_path))
+        first = run_cached(TINY)
+        assert simulation_count() == 1
+        # New "session": drop the in-memory layer, keep the disk layer.
+        clear_cache()
+        replayed = run_cached(TINY)
+        assert simulation_count() == 0
+        assert canon_summary(replayed) == canon_summary(first)
+        stats = cache_stats()
+        assert stats["persistent_hits"] == 1
+
+    def test_stale_fingerprint_invalidates(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="code-v1")
+        run_cached(TINY, cache=cache)
+        assert simulation_count() == 1
+        clear_cache()
+        stale = ResultCache(str(tmp_path), fingerprint="code-v2")
+        run_cached(TINY, cache=stale)
+        assert simulation_count() == 1  # re-simulated under new code
+
+    def test_clear_cache_persistent_wipes_disk(self, tmp_path):
+        cache = configure_cache(str(tmp_path))
+        run_cached(TINY)
+        assert len(cache) == 1
+        clear_cache(persistent=True)
+        assert len(cache) == 0
+
+    def test_memory_cache_is_lru_bounded(self, monkeypatch):
+        import repro.bench.runner as runner
+
+        monkeypatch.setattr(runner, "_MEMORY_CACHE_LIMIT", 2)
+        configs = [replace(TINY, seed=seed) for seed in (1, 2, 3)]
+        for cfg in configs:
+            run_cached(cfg)
+        assert cache_stats()["memory_entries"] == 2
+        # Oldest entry evicted: re-running it simulates again.
+        before = simulation_count()
+        run_cached(configs[0])
+        assert simulation_count() == before + 1
+
+    def test_traced_run_never_cached(self, tmp_path):
+        configure_cache(str(tmp_path))
+        traced = replace(TINY, trace_path=str(tmp_path / "run.jsonl"))
+        run_cached(traced)
+        run_cached(traced)
+        assert simulation_count() == 2
+        assert len(default_cache()) == 0
+
+
+class TestRunMany:
+    def test_duplicates_simulated_once(self):
+        results = run_many([TINY, TINY, TINY])
+        assert simulation_count() == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_results_in_input_order(self):
+        a = TINY
+        b = replace(TINY, scheduler="FCFS")
+        results = run_many([b, a, b])
+        assert [r.config.scheduler for r in results] == [
+            "FCFS", "Default", "FCFS",
+        ]
+
+    def test_warm_disk_cache_does_zero_simulations(self, tmp_path):
+        """The figure-suite acceptance property, in miniature: a second
+        invocation against a warm persistent cache replays everything."""
+        configure_cache(str(tmp_path))
+        grid = [
+            replace(TINY, scheduler=s, seed=n)
+            for s in ("Default", "FCFS")
+            for n in (1, 2)
+        ]
+        run_many(grid)
+        assert simulation_count() == len(grid)
+        clear_cache()  # fresh process, same cache dir
+        replayed = run_many(grid)
+        assert simulation_count() == 0
+        assert cache_stats()["persistent_hits"] == len(grid)
+        assert len(replayed) == len(grid)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_many([TINY], jobs=0)
+
+
+class TestSummaryNanShape:
+    def test_short_run_percentiles_may_be_nan_but_json_stable(self):
+        result = run_cached(TINY)
+        text = canon_summary(result)
+        again = canon_summary(result)
+        assert text == again
+        payload = json.loads(text)
+        for key, value in payload.items():
+            if isinstance(value, float):
+                assert math.isfinite(value) or math.isnan(value), key

@@ -1,0 +1,108 @@
+"""Parallel sweep execution: byte-identical to serial, and faster.
+
+The executor's contract is that ``jobs`` only changes wall time — the
+returned summaries AND any side-effect JSONL traces must be identical
+byte for byte. Tiny configs keep the spawn overhead dominant but
+bounded; the speedup property is only asserted on hosts with enough
+cores to show it.
+"""
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import (
+    ExperimentConfig,
+    clear_cache,
+    run_many,
+    simulation_count,
+    sweep,
+)
+
+TINY = ExperimentConfig(
+    workload="ysb", scheduler="Default", n_queries=1,
+    duration_ms=5_000.0, cores=4, seed=17,
+)
+
+
+def canon(result):
+    return json.dumps(result.summary, sort_keys=True, default=str)
+
+
+class TestParallelDeterminism:
+    def test_jobs4_summaries_match_serial(self):
+        grid = [
+            replace(TINY, scheduler=s, seed=n)
+            for s in ("Default", "FCFS")
+            for n in (1, 2)
+        ]
+        serial = run_many(grid, jobs=1, cache=None)
+        clear_cache()
+        parallel = run_many(grid, jobs=4, cache=None)
+        assert simulation_count() == len(grid)
+        assert [canon(r) for r in serial] == [canon(r) for r in parallel]
+
+    def test_jobs4_traces_byte_identical(self, tmp_path):
+        base = replace(TINY, duration_ms=4_000.0)
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        schedulers = ["Default", "FCFS"]
+        sweep(base, schedulers, [1], jobs=1, cache=None,
+              trace_dir=str(serial_dir))
+        sweep(base, schedulers, [1], jobs=4, cache=None,
+              trace_dir=str(parallel_dir))
+        names = sorted(os.listdir(serial_dir))
+        assert names == sorted(os.listdir(parallel_dir))
+        assert len(names) == len(schedulers)
+        for name in names:
+            a = (serial_dir / name).read_bytes()
+            b = (parallel_dir / name).read_bytes()
+            assert a == b, name
+            assert a  # traces are non-empty
+
+    def test_jobs4_identical_under_fault_injection(self):
+        grid = [
+            replace(TINY, scheduler=s, fault_seed=7, check_invariants=True)
+            for s in ("Default", "Klink")
+        ]
+        serial = run_many(grid, jobs=1, cache=None)
+        clear_cache()
+        parallel = run_many(grid, jobs=4, cache=None)
+        assert [canon(r) for r in serial] == [canon(r) for r in parallel]
+        for r in serial + parallel:
+            assert r.monitor is not None and r.monitor.cycles_checked > 0
+
+    def test_sweep_keys_and_order(self):
+        grid = sweep(TINY, ["Default", "FCFS"], [1, 2], cache=None)
+        assert set(grid) == {
+            ("Default", 1), ("Default", 2), ("FCFS", 1), ("FCFS", 2),
+        }
+        for (scheduler, n), result in grid.items():
+            assert result.config.scheduler == scheduler
+            assert result.config.n_queries == n
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup is only observable with >= 4 cores",
+)
+def test_parallel_sweep_speedup():
+    """Acceptance: jobs=4 at least 2x faster than serial on >=4 cores."""
+    import time  # klink: allow[KL001]
+
+    grid = [
+        replace(TINY, scheduler=s, seed=seed, duration_ms=30_000.0,
+                n_queries=4)
+        for s in ("Default", "Klink")
+        for seed in (1, 2)
+    ]
+    t0 = time.perf_counter()  # klink: allow[KL001]
+    run_many(grid, jobs=1, cache=None)
+    serial_s = time.perf_counter() - t0  # klink: allow[KL001]
+    clear_cache()
+    t0 = time.perf_counter()  # klink: allow[KL001]
+    run_many(grid, jobs=4, cache=None)
+    parallel_s = time.perf_counter() - t0  # klink: allow[KL001]
+    assert parallel_s < serial_s / 2.0, (serial_s, parallel_s)

@@ -1,0 +1,217 @@
+"""Perf-benchmark harness: snapshot shape, validation, and CLI wiring.
+
+The harness itself is wall-clock-dependent, so these tests assert
+structure and invariants (valid snapshot, ordering, bookkeeping), never
+absolute timings. Tiny grids keep each timed simulation sub-second.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.perf import (
+    PERF_GRID,
+    PerfPoint,
+    _percentile,
+    point_label,
+    render_perf,
+    run_perf,
+)
+from repro.bench.runner import ExperimentConfig
+from repro.cli import main
+from repro.obs.compare import check_snapshot
+
+TINY = ExperimentConfig(
+    workload="ysb", scheduler="Default", n_queries=1,
+    duration_ms=5_000.0, cores=4, seed=11,
+)
+TINY_GRID = [TINY, replace(TINY, scheduler="FCFS")]
+
+
+class TestRunPerf:
+    def test_snapshot_is_valid_and_complete(self):
+        snapshot = run_perf(grid=TINY_GRID)
+        assert check_snapshot(snapshot) == []
+        assert snapshot["workload"] == "perf"
+        assert snapshot["scheduler"] == "grid"
+        assert snapshot["n_queries"] == sum(c.n_queries for c in TINY_GRID)
+        assert snapshot["series_count"] == len(TINY_GRID)
+        assert snapshot["duration_ms"] == sum(
+            c.duration_ms for c in TINY_GRID
+        )
+        assert snapshot["throughput_eps"] > 0.0
+        assert snapshot["repeats"] == 1
+        assert "parallel" not in snapshot
+
+    def test_points_and_hottest_operators_agree(self):
+        snapshot = run_perf(grid=TINY_GRID)
+        labels = {point_label(c) for c in TINY_GRID}
+        assert {p["label"] for p in snapshot["points"]} == labels
+        hottest = snapshot["hottest_operators"]
+        assert {row["name"] for row in hottest} == labels
+        cpu = [row["cpu_ms"] for row in hottest]
+        assert cpu == sorted(cpu, reverse=True)
+        for p in snapshot["points"]:
+            assert p["wall_ms"] > 0.0
+            assert p["events"] > 0.0
+            assert p["events_per_wall_sec"] > 0.0
+
+    def test_latency_percentiles_span_point_walls(self):
+        snapshot = run_perf(grid=TINY_GRID)
+        walls = sorted(p["wall_ms"] for p in snapshot["points"])
+        latency = snapshot["latency_ms"]
+        assert walls[0] <= latency["p50"] <= walls[-1]
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert latency["p99"] <= walls[-1]
+
+    def test_parallel_pass_recorded(self):
+        snapshot = run_perf(grid=TINY_GRID, jobs=2)
+        parallel = snapshot["parallel"]
+        assert parallel["jobs"] == 2
+        assert parallel["wall_ms"] > 0.0
+        assert parallel["speedup"] > 0.0
+        assert check_snapshot(snapshot) == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_perf(grid=TINY_GRID, repeats=0)
+        with pytest.raises(ValueError):
+            run_perf(grid=TINY_GRID, jobs=0)
+        with pytest.raises(ValueError):
+            run_perf(grid=[])
+
+    def test_pinned_grid_shape(self):
+        """The default grid is part of the baseline contract."""
+        assert len(PERF_GRID) == 4
+        assert {point_label(c) for c in PERF_GRID} == {
+            "ysb/Default/n20", "ysb/Klink/n20",
+            "lrb/Default/n20", "lrb/Klink/n20",
+        }
+        seeds = {c.seed for c in PERF_GRID}
+        durations = {c.duration_ms for c in PERF_GRID}
+        assert len(seeds) == 1 and len(durations) == 1
+
+
+class TestPercentile:
+    def test_empty_and_singleton(self):
+        assert _percentile([], 50.0) == 0.0
+        assert _percentile([7.0], 99.0) == 7.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0, 20.0, 30.0]
+        assert _percentile(values, 0.0) == 0.0
+        assert _percentile(values, 50.0) == pytest.approx(15.0)
+        assert _percentile(values, 100.0) == 30.0
+
+
+class TestRenderPerf:
+    def test_lists_every_point_and_parallel_line(self):
+        point = PerfPoint(
+            label="ysb/Default/n1", wall_ms=100.0,
+            simulated_ms=5_000.0, events=1_000.0,
+        )
+        snapshot = {
+            "points": [point.to_dict()],
+            "latency_ms": {"mean": 100.0, "p50": 100.0, "p90": 100.0},
+            "throughput_eps": 10_000.0,
+            "parallel": {"jobs": 4, "cpus": 8, "wall_ms": 50.0,
+                         "speedup": 2.0},
+        }
+        text = render_perf(snapshot)
+        assert "ysb/Default/n1" in text
+        assert "speedup 2.00x" in text
+
+    def test_zero_wall_point_renders(self):
+        point = PerfPoint(label="x", wall_ms=0.0, simulated_ms=0.0,
+                          events=0.0)
+        assert point.events_per_wall_sec == 0.0
+
+
+class TestCheckSnapshot:
+    def test_flags_structural_problems(self):
+        snapshot = run_perf(grid=[TINY])
+        broken = dict(snapshot)
+        del broken["throughput_eps"]
+        assert any("throughput_eps" in p for p in check_snapshot(broken))
+        broken = dict(snapshot)
+        broken["latency_ms"] = {"mean": 1.0}  # missing percentiles
+        assert check_snapshot(broken)
+        broken = dict(snapshot)
+        broken["hottest_operators"] = [{"name": "x", "cpu_ms": None}]
+        assert check_snapshot(broken)
+        broken = dict(snapshot)
+        broken["snapshot_version"] = 99
+        assert any("snapshot_version" in p for p in check_snapshot(broken))
+
+
+class TestPerfCli:
+    @pytest.fixture(autouse=True)
+    def _tiny_default_grid(self, monkeypatch):
+        monkeypatch.setattr("repro.bench.perf.PERF_GRID", [TINY])
+
+    def test_perf_writes_valid_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        assert main(["perf", "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "simulator perf" in captured.out
+        assert f"wrote {out}" in captured.err
+        snapshot = json.loads(out.read_text())
+        assert check_snapshot(snapshot) == []
+
+    def test_perf_compares_against_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        assert main(["perf", "--out", str(out)]) == 0
+        capsys.readouterr()
+        # Wall time jitters between the two runs, so only assert that a
+        # comparison is printed and the verdict maps to the exit code.
+        code = main(["perf", "--baseline", str(out)])
+        captured = capsys.readouterr()
+        assert "simulator perf" in captured.out
+        assert code in (0, 1)
+        if code == 1:
+            assert "REGRESSION" in captured.out or "regress" in (
+                captured.out.lower()
+            )
+        assert main(["perf", "--baseline",
+                     str(tmp_path / "missing.json")]) == 2
+
+    def test_perf_rejects_bad_repeats(self, capsys):
+        assert main(["perf", "--repeats", "0"]) == 2
+        assert "ERROR" in capsys.readouterr().err
+
+
+class TestCompareCheckCli:
+    def test_check_accepts_valid_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(run_perf(grid=[TINY])))
+        assert main(["compare", "--check", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "[check] OK" in captured.err
+        assert captured.out == ""  # --check suppresses the dump
+
+    def test_check_rejects_invalid_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"snapshot_version": 1}))
+        assert main(["compare", "--check", str(path)]) == 1
+        assert "[check]" in capsys.readouterr().err
+
+
+class TestSweepCliParallel:
+    def test_sweep_jobs_no_cache_smoke(self, capsys):
+        code = main([
+            "sweep", "--workload", "ysb", "--queries", "1",
+            "--schedulers", "Default", "FCFS",
+            "--duration", "5", "--jobs", "2", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Default" in out and "FCFS" in out
+
+    def test_run_no_cache_smoke(self, capsys):
+        code = main([
+            "run", "--workload", "ysb", "--queries", "1",
+            "--duration", "5", "--no-cache",
+        ])
+        assert code == 0
+        assert "ysb" in capsys.readouterr().out
