@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Failover recovery: the same node failure under every recovery strategy.
+
+Eight YSB queries run for 40 simulated seconds while the fault layer
+kills the node in [15 s, 21 s). Four configurations face the identical
+failure:
+
+* ``restart``  — checkpoint every 3 s; the node stays dark for the
+  episode, then rolls back to the last checkpoint and replays;
+* ``standby``  — same checkpoints; a hot standby is promoted at
+  detection time, so recovery completes within a cycle;
+* ``none``     — crash semantics: queued work on the node is lost (the
+  invariant monitor tolerates the loss only because recovery is off);
+* ``legacy``   — ``recovery=None``: the pre-resilience lossless pause.
+
+Every run is gated by an :class:`~repro.faults.InvariantMonitor`: with
+recovery enabled, zero events may be lost or duplicated across the
+failover. The recovery-time metric the table prints is the same one the
+trace report exposes in its ``resilience`` section (and the Chrome
+flame export draws as a ``recovery:<strategy>`` span).
+
+Usage::
+
+    python examples/failover_recovery.py
+"""
+
+import json
+
+from repro import WorkloadParams, build_queries
+from repro.bench.runner import make_scheduler, trace_summary
+from repro.faults import FaultPlan, InvariantMonitor, NodeFailure
+from repro.resilience import (
+    CheckpointCoordinator,
+    RecoveryConfig,
+    RecoveryManager,
+)
+from repro.spe.engine import Engine
+
+DURATION_MS = 40_000.0
+CHECKPOINT_MS = 3_000.0
+FAILURE = NodeFailure(15_000.0, 21_000.0, node=0)
+
+
+def run(strategy):
+    queries = build_queries("ysb", 8, WorkloadParams(seed=1))
+    monitor = InvariantMonitor()
+    checkpoints = None
+    recovery = None
+    if strategy != "legacy":
+        checkpoints = CheckpointCoordinator(CHECKPOINT_MS)
+        recovery = RecoveryManager(
+            RecoveryConfig(strategy),
+            checkpoints if strategy != "none" else None,
+        )
+    engine = Engine(
+        queries,
+        make_scheduler("Klink"),
+        cores=8,
+        cycle_ms=100.0,
+        seed=1,
+        faults=FaultPlan([FAILURE]),
+        invariants=monitor,
+        checkpoints=checkpoints,
+        recovery=recovery,
+    )
+    metrics = engine.run(DURATION_MS)
+    return metrics, monitor
+
+
+def fmt_ms(values):
+    return ",".join(f"{v / 1000:.2f}s" for v in values) if values else "-"
+
+
+def main() -> None:
+    print("One node failure [15s, 21s), four recovery configurations\n")
+    print(
+        f"{'strategy':9s} {'recovery':>9s} {'replay':>8s} {'lost':>10s} "
+        f"{'p99 lat':>9s} {'infl':>6s} {'ckpts':>6s} {'invariants':>11s}"
+    )
+    failures = 0
+    last_resilient = None
+    for strategy in ("restart", "standby", "none", "legacy"):
+        metrics, monitor = run(strategy)
+        verdict = "OK" if monitor.ok else f"{monitor.total_violations} BAD"
+        failures += 0 if monitor.ok else 1
+        resilience = metrics.resilience_summary()
+        inflation = resilience["post_failure_latency_inflation"]
+        print(
+            f"{strategy:9s} "
+            f"{fmt_ms(metrics.recovery_time_ms):>9s} "
+            f"{fmt_ms(metrics.replay_span_ms):>8s} "
+            f"{metrics.events_lost_to_failures:10,.0f} "
+            f"{metrics.latency_percentile(99) / 1000:8.2f}s "
+            f"{inflation:6.2f} "
+            f"{metrics.checkpoints_taken:6d} "
+            f"{verdict:>11s}"
+        )
+        if not monitor.ok:
+            print(monitor.report())
+        if strategy == "restart":
+            last_resilient = metrics
+
+    print("\nThe trace report carries the same story — summary['resilience']")
+    print("for the restart run:")
+    print(json.dumps(trace_summary(last_resilient)["resilience"], indent=2))
+    print(
+        "\nrestart pays the whole episode as recovery time and recomputes"
+        "\nthe replay span; standby hides the outage behind one detection"
+        "\ncycle; 'none' loses the node's queued work and only the explicit"
+        "\nopt-out keeps the conservation invariants green."
+    )
+    raise SystemExit(failures)
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,11 @@ from repro.obs import (
     parse_rules,
 )
 from repro.obs.alerts import DEFAULT_RULE_TEXTS
+from repro.resilience import (
+    CheckpointCoordinator,
+    RecoveryConfig,
+    RecoveryManager,
+)
 from repro.spe.engine import Engine
 from repro.spe.memory import GIB, MemoryConfig
 from repro.spe.metrics import RunMetrics
@@ -59,6 +64,10 @@ from repro.workloads import WorkloadParams, build_queries
 
 #: simulated experiment length (the paper runs 20 real minutes)
 DEFAULT_DURATION_MS = 120_000.0
+
+#: checkpoint period used when recovery is requested without an explicit
+#: ``--checkpoint-period`` (Flink's conventional default is seconds-scale)
+DEFAULT_CHECKPOINT_PERIOD_MS = 5_000.0
 
 #: calibrated memory capacity per workload (GiB). LRB's windowed join
 #: legitimately buffers raw events (its standing state is several hundred
@@ -123,6 +132,10 @@ class ExperimentConfig:
     telemetry_period_ms: float = 200.0  # virtual-clock sample period
     deadline_slo_ms: float = 1000.0  # latency above this = deadline miss
     alert_rules: Tuple[str, ...] = DEFAULT_RULE_TEXTS  # rule texts (hashable)
+    # resilience (repro.resilience): periodic checkpointing and the
+    # recovery strategy for node failures (None keeps legacy semantics)
+    checkpoint_period_ms: Optional[float] = None
+    recover: Optional[str] = None  # "restart" | "standby" | "none"
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -187,6 +200,12 @@ def trace_summary(metrics: RunMetrics) -> Dict[str, object]:
     summary["events_shed"] = metrics.events_shed
     summary["late_events_dropped"] = metrics.late_events_dropped
     summary["latency_cdf"] = [list(point) for point in metrics.latency_cdf()]
+    if (
+        metrics.recoveries
+        or metrics.events_lost_to_failures
+        or metrics.recovery_events
+    ):
+        summary["resilience"] = metrics.resilience_summary()
     return summary
 
 
@@ -251,6 +270,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             ),
             rules=parse_rules(config.alert_rules),
         )
+    checkpoints = None
+    recovery = None
+    if config.checkpoint_period_ms is not None:
+        checkpoints = CheckpointCoordinator(config.checkpoint_period_ms)
+    if config.recover is not None:
+        if config.recover != "none" and checkpoints is None:
+            checkpoints = CheckpointCoordinator(DEFAULT_CHECKPOINT_PERIOD_MS)
+        recovery = RecoveryManager(RecoveryConfig(config.recover), checkpoints)
     engine = Engine(
         queries,
         scheduler,
@@ -263,6 +290,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         faults=faults,
         invariants=monitor,
         telemetry=sampler,
+        checkpoints=checkpoints,
+        recovery=recovery,
         validate=config.validate,
     )
     metrics = engine.run(config.duration_ms)

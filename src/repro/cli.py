@@ -170,6 +170,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "(default: the built-in SLO rule set)",
     )
     parser.add_argument(
+        "--checkpoint-period", type=float, default=None, metavar="MS",
+        help="take a deterministic engine checkpoint every MS of virtual "
+             "time (repro.resilience); enables restart/standby recovery "
+             "and the checkpoint metrics in the trace summary",
+    )
+    parser.add_argument(
+        "--recover", default=None, choices=["restart", "standby", "none"],
+        help="recovery strategy for injected node failures: 'restart' "
+             "rolls back to the last checkpoint when the node returns, "
+             "'standby' promotes a hot standby at detection, 'none' "
+             "models a crash that loses the node's volatile state "
+             "(default: legacy lossless pause). restart/standby imply "
+             "--checkpoint-period 5000 unless one is given",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result-cache directory (default: "
              "$REPRO_BENCH_CACHE or .bench_cache)",
@@ -226,6 +241,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         check_invariants=args.check_invariants,
         validate=not args.no_validate,
         trace_path=args.trace,
+        checkpoint_period_ms=args.checkpoint_period,
+        recover=args.recover,
         **_telemetry_fields(args),
     )
     if args.bench_json:
@@ -262,6 +279,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fault_seed=args.faults,
         check_invariants=args.check_invariants,
         validate=not args.no_validate,
+        checkpoint_period_ms=args.checkpoint_period,
+        recover=args.recover,
         **_telemetry_fields(args),
     )
     _configure_cli_cache(args)

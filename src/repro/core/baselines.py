@@ -18,7 +18,7 @@
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
 from repro.spe.query import Query
@@ -111,6 +111,12 @@ class RoundRobinScheduler(Scheduler):
 
     def reset(self) -> None:
         self._cursor = 0
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return {"cursor": self._cursor}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._cursor = int(state["cursor"])  # type: ignore[arg-type]
 
 
 class HighestRateScheduler(Scheduler):

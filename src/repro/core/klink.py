@@ -286,3 +286,26 @@ class KlinkScheduler(Scheduler):
         self.last_slacks = {}
         self.mm_episodes = 0
         self._last_overhead_ms = 0.0
+
+    def snapshot_state(self) -> Dict[str, object]:
+        # The estimator itself is stateless (it reads StreamProgress, which
+        # checkpoints with the bindings); only the MM episode machine and
+        # the diagnostics carry across cycles.
+        return {
+            "mm_active": self._mm_active,
+            "mm_entry_util": self._mm_entry_util,
+            "mm_entry_time": self._mm_entry_time,
+            "last_slacks": dict(self.last_slacks),
+            "mm_episodes": self.mm_episodes,
+            "last_overhead_ms": self._last_overhead_ms,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._mm_active = bool(state["mm_active"])
+        self._mm_entry_util = float(state["mm_entry_util"])  # type: ignore[arg-type]
+        self._mm_entry_time = float(state["mm_entry_time"])  # type: ignore[arg-type]
+        self.last_slacks = {
+            str(k): float(v) for k, v in dict(state["last_slacks"]).items()  # type: ignore[call-overload]
+        }
+        self.mm_episodes = int(state["mm_episodes"])  # type: ignore[arg-type]
+        self._last_overhead_ms = float(state["last_overhead_ms"])  # type: ignore[arg-type]

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.spe.engine
     from repro.obs.audit import QueryDecision
@@ -150,6 +150,18 @@ class Scheduler(abc.ABC):
 
     def reset(self) -> None:
         """Clear any cross-cycle state (called between experiment runs)."""
+
+    # -- checkpointing (repro.resilience) ------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-safe copy of the policy's cross-cycle state, captured by
+        :func:`repro.resilience.checkpoint.capture`. Stateless policies
+        return ``{}``; stateful ones override together with
+        :meth:`restore_state` so a restored run replans identically."""
+        return {}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Apply a state dict produced by :meth:`snapshot_state`."""
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -121,11 +121,14 @@ class DistributedEngine(Engine):
         faults=None,
         invariants=None,
         telemetry=None,
+        checkpoints=None,
+        recovery=None,
         validate: bool = True,
     ) -> None:
         self.plan = plan
         self.board = ForwardingBoard(rpc_latency_ms)
         self.cores_per_node = cores_per_node
+        self.rpc_latency_ms = float(rpc_latency_ms)
         self.node_schedulers: List[Scheduler] = [
             scheduler_factory(node, self.board, plan)
             for node in range(plan.n_nodes)
@@ -143,6 +146,8 @@ class DistributedEngine(Engine):
             faults=faults,
             invariants=invariants,
             telemetry=telemetry,
+            checkpoints=checkpoints,
+            recovery=recovery,
             validate=validate,
         )
         # Attach transfer latency to cross-node edges.
@@ -238,6 +243,8 @@ class DistributedEngine(Engine):
             for node in range(self.plan.n_nodes)
             if self.faults is not None and self.faults.node_down(node, now)
         )
+        if self.recovery is not None:
+            down_nodes = self.recovery.on_cycle(self, down_nodes, now)
         for channel in self._delayed_channels:
             channel.release(now)
         backpressured = (
@@ -337,6 +344,51 @@ class DistributedEngine(Engine):
                     node=node,
                     decisions=decisions,
                 )
+        if self.checkpoints is not None:
+            self.checkpoints.maybe_checkpoint(self, now, down_nodes)
+
+    def _on_standby_promotion(self, node: int, now: float) -> None:
+        """Re-place the failed node's operators onto a hot standby.
+
+        The standby is modelled as spare capacity on the surviving node
+        with the fewest operators (ties to the lowest index): placement
+        entries, and channel transfer latencies, are rewritten so the
+        moved operators run there from the next plan onward. Everything
+        downstream — ``_localize``, ``plan.local_operators``, the
+        forwarding board, the per-node schedulers — reads the placement
+        dynamically, so the promotion takes effect cluster-wide at once.
+        """
+        survivors = [
+            n
+            for n in range(self.plan.n_nodes)
+            if n != node
+            and not (self.faults is not None and self.faults.node_down(n, now))
+        ]
+        if not survivors:
+            return  # total outage: nothing to promote onto
+        load = {n: 0 for n in survivors}
+        for target_node in self.plan.node_of.values():
+            if target_node in load:
+                load[target_node] += 1
+        target = min(survivors, key=lambda n: (load[n], n))
+        for query in self.queries:
+            for op in query.operators:
+                if self.plan.node_of[id(op)] == node:
+                    self.plan.node_of[id(op)] = target
+        # Re-derive which edges now cross nodes (the moved operators may
+        # have gained or lost co-location with their neighbours).
+        for query in self.queries:
+            cross = {id(op) for op in self.plan.cross_node_edges(query)}
+            for op in query.operators:
+                channel = op.output
+                if channel is None:
+                    continue
+                if id(op) in cross:
+                    channel.latency_ms = self.rpc_latency_ms
+                    if channel not in self._delayed_channels:
+                        self._delayed_channels.append(channel)
+                else:
+                    channel.latency_ms = 0.0
 
     def _localize(self, plan: Plan, node: int) -> Plan:
         """Restrict a node's plan to the operators hosted on that node."""

@@ -106,6 +106,11 @@ class InvariantMonitor:
         self._sink_last_ts: Dict[int, float] = {}
         self._ingested_prev = 0.0
         self._shed_prev = 0.0
+        # events whose loss is *tolerated*: booked by on_crash when a node
+        # failed with recovery explicitly disabled. With recovery enabled,
+        # loss is never tolerated — it becomes an unrecovered-loss
+        # violation instead (the failover must preserve every event).
+        self._tolerated_loss: Dict[str, float] = {}
 
     # -- result accessors -----------------------------------------------------
 
@@ -210,6 +215,67 @@ class InvariantMonitor:
                 f"with the engine total ({total:.3f})",
             )
 
+    # -- resilience hooks (repro.resilience) -----------------------------------
+
+    def on_crash(self, engine, lost_events: Dict[str, float], recovery_enabled: bool) -> None:
+        """Account events lost when a node crashed.
+
+        ``lost_events`` maps query ids to events dropped from their entry
+        channels. With recovery *disabled* the loss is expected — crash
+        semantics without checkpoints lose volatile state — so it is
+        booked as tolerated and the conservation checks subtract it. With
+        recovery *enabled*, lost events mean the failover failed to
+        preserve them: each is recorded as an ``unrecovered-loss``
+        violation (this is the tightened semantics — loss is only ever
+        acceptable when the run explicitly opted out of recovery).
+        """
+        now = engine.clock.now
+        for query_id in sorted(lost_events):
+            lost = lost_events[query_id]
+            if lost <= self.tolerance:
+                continue
+            if recovery_enabled:
+                self._record(
+                    now, "unrecovered-loss", query_id,
+                    f"{lost:.3f} events lost to a node failure although "
+                    f"recovery was enabled",
+                )
+            else:
+                self._tolerated_loss[query_id] = (
+                    self._tolerated_loss.get(query_id, 0.0) + lost
+                )
+
+    def on_rollback(self, engine) -> None:
+        """Re-base the cross-cycle baselines after a checkpoint rollback.
+
+        A rollback legitimately rewinds ingestion counters, watermark
+        clocks, and sink ledgers; without re-basing, the next ``on_cycle``
+        would flag the rewind itself as regression. The re-based values
+        come from the *restored* state, so any genuine regression after
+        the rollback is still caught.
+        """
+        metrics = engine.metrics
+        self._ingested_prev = metrics.total_events_ingested
+        self._shed_prev = metrics.events_shed
+        for query in engine.queries:
+            for binding in query.bindings:
+                progress = binding.progress
+                if progress is not None:
+                    self._progress_wms[id(progress)] = progress.last_watermark_ts
+            for op in query.operators:
+                if isinstance(op, _WindowedOperatorBase):
+                    self._event_clocks[id(op)] = op.event_clock
+                    self._input_wms[id(op)] = list(op._input_watermarks)
+                elif isinstance(op, WatermarkGeneratorOperator):
+                    self._generator_wms[id(op)] = op.last_emitted
+            sink = query.sink
+            if isinstance(sink, SinkOperator):
+                last_ts = -math.inf
+                for at, latency in sink.swm_latencies:
+                    last_ts = max(last_ts, at - latency)
+                self._sink_swm_seen[id(sink)] = len(sink.swm_latencies)
+                self._sink_last_ts[id(sink)] = last_ts
+
     # -- individual invariant checks ------------------------------------------
 
     def _monotone_counters(self, engine, now: float) -> None:
@@ -263,7 +329,8 @@ class InvariantMonitor:
         ingested = sum(b.events_ingested for b in query.bindings)
         consumed = sum(op.stats.events_in for op in entry_ops.values())
         queued = sum(ch.queued_events for ch in entry_channels.values())
-        accounted = consumed + queued
+        tolerated = self._tolerated_loss.get(query.query_id, 0.0)
+        accounted = consumed + queued + tolerated
         slack = max(self.tolerance, 1e-9 * max(ingested, 1.0))
         if abs(accounted - ingested) > slack:
             self._record(

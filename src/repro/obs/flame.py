@@ -186,6 +186,69 @@ def _series_events(series: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
     return events
 
 
+def _resilience_events(summary: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Recovery spans and checkpoint-restore marks from the summary's
+    resilience section (present when a run recovered from, or lost
+    events to, node failures)."""
+    section = summary.get("resilience")
+    if not isinstance(section, Mapping):
+        return []
+    events: List[Dict[str, Any]] = []
+    for row in section.get("events", ()):
+        node = int(row.get("node", 0))
+        strategy = str(row.get("strategy", "?"))
+        failed_at = max(float(row.get("failed_at", 0.0)), 0.0)
+        recovered_at = row.get("recovered_at")
+        args = {
+            "node": node,
+            "detected_at": row.get("detected_at"),
+            "checkpoint_time": row.get("checkpoint_time"),
+            "events_lost": row.get("events_lost"),
+        }
+        if recovered_at is None:
+            # unrecovered failure (strategy "none"): an instant mark
+            events.append(
+                {
+                    "name": f"failure:{strategy}",
+                    "cat": "resilience",
+                    "ph": _PHASE_INSTANT,
+                    "ts": _us(failed_at),
+                    "pid": PID_SCHEDULER,
+                    "tid": node,
+                    "s": "p",
+                    "args": args,
+                }
+            )
+            continue
+        events.append(
+            {
+                "name": f"recovery:{strategy}",
+                "cat": "resilience",
+                "ph": _PHASE_COMPLETE,
+                "ts": _us(failed_at),
+                "dur": _us(max(float(recovered_at) - failed_at, 0.0)),
+                "pid": PID_SCHEDULER,
+                "tid": node,
+                "args": args,
+            }
+        )
+        checkpoint_time = row.get("checkpoint_time")
+        if checkpoint_time is not None:
+            events.append(
+                {
+                    "name": "checkpoint:restore",
+                    "cat": "resilience",
+                    "ph": _PHASE_INSTANT,
+                    "ts": _us(max(float(checkpoint_time), 0.0)),
+                    "pid": PID_SCHEDULER,
+                    "tid": node,
+                    "s": "p",
+                    "args": {"node": node, "recovered_at": recovered_at},
+                }
+            )
+    return events
+
+
 def chrome_trace_events(
     trace: Trace, *, include_series: bool = True
 ) -> Dict[str, Any]:
@@ -203,6 +266,7 @@ def chrome_trace_events(
     events += _cycle_events(trace.cycles, cycle_ms)
     events += _operator_events(trace.operators)
     events += _alert_events(trace.alerts)
+    events += _resilience_events(trace.summary or {})
     if include_series:
         events += _series_events(trace.series)
     return {

@@ -1,0 +1,37 @@
+"""Checkpointing and failover recovery for the streaming engines.
+
+See ``docs/RESILIENCE.md`` for the checkpoint format, the recovery
+strategies, and the invariant guarantees proven by the chaos test tier.
+"""
+
+from repro.resilience.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointCoordinator,
+    CheckpointError,
+    CheckpointStore,
+    capture,
+    deserialize,
+    restore,
+    serialize,
+)
+from repro.resilience.recovery import (
+    STRATEGIES,
+    RecoveryConfig,
+    RecoveryEvent,
+    RecoveryManager,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointCoordinator",
+    "CheckpointError",
+    "CheckpointStore",
+    "capture",
+    "deserialize",
+    "restore",
+    "serialize",
+    "STRATEGIES",
+    "RecoveryConfig",
+    "RecoveryEvent",
+    "RecoveryManager",
+]

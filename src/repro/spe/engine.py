@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from itertools import count as _counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,6 +64,8 @@ class Engine:
         faults=None,
         invariants=None,
         telemetry=None,
+        checkpoints=None,
+        recovery=None,
         validate: bool = True,
     ) -> None:
         if cores < 1:
@@ -96,10 +97,15 @@ class Engine:
         self.invariants = invariants
         #: optional in-run telemetry sampler (repro.obs.TelemetrySampler)
         self.telemetry = telemetry
+        #: optional periodic checkpointing (repro.resilience.CheckpointCoordinator)
+        self.checkpoints = checkpoints
+        #: optional failover recovery (repro.resilience.RecoveryManager);
+        #: None keeps the legacy node-failure semantics (lossless pause)
+        self.recovery = recovery
         self.clock = VirtualClock()
         self.metrics = RunMetrics()
         self._rng = np.random.default_rng(seed)
-        self._seq = _counter()
+        self._seq = 0
         # (ingest_time, seq, query, binding, record)
         self._network: List[Tuple[float, int, Query, SourceBinding, object]] = []
         self._throttle_requested = False  # set by plans that stall sources
@@ -211,8 +217,9 @@ class Engine:
     def _push_network(
         self, ingest_time: float, query: Query, binding: SourceBinding, record: object
     ) -> None:
+        self._seq += 1
         heapq.heappush(
-            self._network, (ingest_time, next(self._seq), query, binding, record)
+            self._network, (ingest_time, self._seq, query, binding, record)
         )
 
     # -- ingestion ---------------------------------------------------------------
@@ -420,9 +427,15 @@ class Engine:
         """Advance the simulation by ``duration_ms`` and return metrics."""
         if duration_ms <= 0:
             raise ValueError(f"duration must be positive: {duration_ms}")
+        if self.checkpoints is not None:
+            self.checkpoints.ensure_baseline(self)
+        if self.recovery is not None:
+            self.recovery.begin_run(self)
         end = self.clock.now + duration_ms
         while self.clock.now < end - 1e-9:
             self.step_cycle()
+        if self.recovery is not None:
+            self.recovery.finalize(self)
         self.metrics.duration_ms = self.clock.now
         self.metrics.late_events_dropped = sum(
             op.stats.late_events_dropped for q in self.queries for op in q.operators
@@ -458,6 +471,9 @@ class Engine:
         self.clock.advance(self.cycle_ms)
         now = self.clock.now
         node_down = self._apply_faults(now)
+        if self.recovery is not None:
+            raw_down = frozenset((0,)) if node_down else frozenset()
+            node_down = 0 in self.recovery.on_cycle(self, raw_down, now)
         backpressured = self.memory.backpressured(self.queries) or self._throttle_requested
         if backpressured:
             self.metrics.backpressure_cycles += 1
@@ -526,3 +542,14 @@ class Engine:
                 overhead_ms=overhead,
                 decisions=decisions,
             )
+        if self.checkpoints is not None:
+            self.checkpoints.maybe_checkpoint(
+                self, now, frozenset((0,)) if node_down else frozenset()
+            )
+
+    def _on_standby_promotion(self, node: int, now: float) -> None:
+        """Hook invoked by the RecoveryManager when a hot standby takes
+        over ``node``. The single-node engine models an in-place standby
+        (same operators, same placement), so there is nothing to move;
+        :class:`~repro.distributed.cluster.DistributedEngine` overrides
+        this to re-place the failed node's operators on a survivor."""

@@ -97,6 +97,17 @@ class RunMetrics:
     #: per-operator profiles, populated at the end of a run when an
     #: OperatorProfiler is attached to the engine (repro.obs.profile).
     operator_profiles: List["OperatorProfile"] = field(default_factory=list)
+    # resilience accounting, populated by repro.resilience when a
+    # CheckpointCoordinator / RecoveryManager is attached; these are
+    # processing-time counters and are never rolled back by a restore
+    checkpoints_taken: int = 0
+    checkpoint_bytes_last: int = 0
+    recoveries: int = 0
+    recovery_time_ms: List[float] = field(default_factory=list)
+    replay_span_ms: List[float] = field(default_factory=list)
+    recovery_events: List[Dict[str, object]] = field(default_factory=list)
+    events_lost_to_failures: float = 0.0
+    post_failure_latency_inflation: float = math.nan
 
     # -- latency ------------------------------------------------------------
 
@@ -173,6 +184,27 @@ class RunMetrics:
             "max_watermark_lag_ms": self.watermark_lag_max_ms,
             "mean_watermark_lag_ms": self.watermark_lag_mean_ms,
             "alerts_fired": float(self.alerts_fired),
+        }
+
+    def resilience_summary(self) -> Dict[str, object]:
+        """Checkpoint/recovery headline numbers; kept out of
+        :meth:`summary` so non-failure runs stay byte-identical with and
+        without checkpointing enabled."""
+        mean_recovery = (
+            float(np.mean(self.recovery_time_ms))
+            if self.recovery_time_ms
+            else math.nan
+        )
+        return {
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_bytes_last": self.checkpoint_bytes_last,
+            "recoveries": self.recoveries,
+            "recovery_time_ms": list(self.recovery_time_ms),
+            "mean_recovery_time_ms": mean_recovery,
+            "replay_span_ms": list(self.replay_span_ms),
+            "events_lost_to_failures": self.events_lost_to_failures,
+            "post_failure_latency_inflation": self.post_failure_latency_inflation,
+            "events": [dict(event) for event in self.recovery_events],
         }
 
 

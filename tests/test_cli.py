@@ -274,3 +274,46 @@ class TestTelemetryFlags:
                 "--duration", "5", "--cores", "4",
                 "--telemetry", "--alert", "gibberish rule",
             ])
+
+
+class TestResilienceFlags:
+    def test_defaults_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.checkpoint_period is None
+        assert args.recover is None
+
+    def test_parse_values(self):
+        args = build_parser().parse_args([
+            "run", "--checkpoint-period", "2500", "--recover", "standby",
+        ])
+        assert args.checkpoint_period == 2500.0
+        assert args.recover == "standby"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--recover", "reboot"])
+
+    def test_sweep_accepts_resilience_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "--recover", "none", "--checkpoint-period", "1000",
+        ])
+        assert args.recover == "none"
+        assert args.checkpoint_period == 1000.0
+
+    def test_help_documents_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--help"])
+        out = capsys.readouterr().out
+        assert "--checkpoint-period" in out
+        assert "--recover" in out
+        assert "standby" in out
+
+    def test_run_with_recovery_flags(self, capsys):
+        rc = main([
+            "run", "--workload", "ysb", "--scheduler", "Default",
+            "--queries", "2", "--duration", "25", "--cores", "4",
+            "--faults", "5", "--check-invariants",
+            "--recover", "restart", "--checkpoint-period", "2000",
+        ])
+        assert rc == 0
+        assert "invariants OK" in capsys.readouterr().out

@@ -1,0 +1,260 @@
+"""Checkpoint/restore unit and property tests (repro.resilience).
+
+The property at the core of the resilience story: a checkpoint is a
+*complete* description of engine state. Captured at any virtual-clock
+point, serialized, and restored into a fresh engine, it must reproduce
+the original byte-for-byte — and a resumed run must be indistinguishable
+from one that never stopped, for every scheduling policy.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import SCHEDULER_NAMES, make_scheduler
+from repro.core.klink import KlinkScheduler
+from repro.core.baselines import DefaultScheduler, RoundRobinScheduler
+from repro.resilience import (
+    SCHEMA_VERSION,
+    CheckpointCoordinator,
+    CheckpointError,
+    CheckpointStore,
+    RecoveryConfig,
+    RecoveryManager,
+    capture,
+    deserialize,
+    restore,
+    serialize,
+)
+from repro.spe.engine import Engine
+from repro.spe.memory import MemoryConfig
+
+from tests.helpers import make_join_query, make_simple_query
+
+MB = 1024 * 1024
+
+
+def build_engine(scheduler_name: str = "Klink", *, seed: int = 0) -> Engine:
+    """Two heterogeneous queries (bursty tumbling + two-input join) so a
+    checkpoint must cover burst RNG state, join watermark vectors, and
+    per-query progress trackers."""
+    q0 = make_simple_query(
+        "q0", rate_eps=4000.0, delay_ms=40.0, burst_factor=3.0, seed=seed
+    )
+    q1 = make_join_query("q1", delays_ms=(10.0, 60.0))
+    return Engine(
+        [q0, q1],
+        make_scheduler(scheduler_name),
+        cores=4,
+        cycle_ms=100.0,
+        memory=MemoryConfig(capacity_bytes=256 * MB),
+        seed=seed,
+    )
+
+
+class TestCheckpointRoundTrip:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        cycles=st.integers(min_value=1, max_value=40),
+        scheduler=st.sampled_from(["Klink", "Default", "RR"]),
+    )
+    def test_capture_serialize_restore_is_byte_identical(self, cycles, scheduler):
+        engine = build_engine(scheduler)
+        engine.run(cycles * engine.cycle_ms)
+        text = serialize(capture(engine))
+        fresh = build_engine(scheduler)
+        restore(fresh, deserialize(text), mode="resume")
+        assert serialize(capture(fresh)) == text
+
+    def test_serialization_is_canonical_and_json(self):
+        engine = build_engine()
+        engine.run(500.0)
+        snapshot = capture(engine)
+        text = serialize(snapshot)
+        # -inf watermarks and NaN metrics must survive the round trip
+        assert deserialize(text) == json.loads(text)
+        assert serialize(deserialize(text)) == text
+
+    def test_restore_restores_clock_and_metrics(self):
+        engine = build_engine()
+        engine.run(2000.0)
+        snapshot = capture(engine)
+        fresh = build_engine()
+        restore(fresh, snapshot, mode="resume")
+        assert fresh.clock.now == engine.clock.now
+        assert fresh.metrics.cycles == engine.metrics.cycles
+        assert fresh.metrics.swm_latencies == engine.metrics.swm_latencies
+
+    def test_rollback_keeps_processing_time_accounting(self):
+        engine = build_engine()
+        engine.run(1000.0)
+        snapshot = capture(engine)
+        engine.run(1000.0)
+        cycles_before = engine.metrics.cycles
+        clock_before = engine.clock.now
+        restore(engine, snapshot, mode="rollback")
+        assert engine.clock.now == clock_before  # clock does not rewind
+        assert engine.metrics.cycles == cycles_before
+        # ...but the event ledger does
+        assert engine.metrics.total_events_ingested == pytest.approx(
+            snapshot["metrics"]["scalars"]["total_events_ingested"]
+        )
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_resumed_run_equals_uninterrupted_run(scheduler):
+    """Satellite 1: split + resume == one uninterrupted run, per policy."""
+    full = build_engine(scheduler)
+    full.run(6000.0)
+
+    first = build_engine(scheduler)
+    first.run(2500.0)
+    snapshot = deserialize(serialize(capture(first)))
+    resumed = build_engine(scheduler)
+    restore(resumed, snapshot, mode="resume")
+    resumed.run(6000.0 - resumed.clock.now)
+
+    full_summary = json.dumps(full.metrics.summary(), sort_keys=True)
+    resumed_summary = json.dumps(resumed.metrics.summary(), sort_keys=True)
+    assert resumed_summary == full_summary
+    assert resumed.metrics.swm_latencies == full.metrics.swm_latencies
+    assert resumed.metrics.marker_latencies == full.metrics.marker_latencies
+
+
+class TestRestoreValidation:
+    def test_schema_mismatch_rejected(self):
+        engine = build_engine()
+        engine.run(300.0)
+        snapshot = capture(engine)
+        snapshot["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointError, match="schema"):
+            restore(build_engine(), snapshot)
+
+    def test_topology_mismatch_rejected(self):
+        engine = build_engine()
+        engine.run(300.0)
+        snapshot = capture(engine)
+        other = Engine(
+            [make_simple_query("q0")],
+            DefaultScheduler(),
+            cores=4,
+            cycle_ms=100.0,
+            memory=MemoryConfig(capacity_bytes=256 * MB),
+        )
+        with pytest.raises(CheckpointError, match="queries"):
+            restore(other, snapshot)
+
+    def test_resume_backwards_rejected(self):
+        engine = build_engine()
+        engine.run(500.0)
+        snapshot = capture(engine)
+        engine.run(500.0)  # engine is now past the snapshot
+        with pytest.raises(CheckpointError, match="resume backwards"):
+            restore(engine, snapshot, mode="resume")
+
+    def test_unknown_mode_rejected(self):
+        engine = build_engine()
+        with pytest.raises(CheckpointError, match="mode"):
+            restore(engine, capture(engine), mode="sideways")
+
+
+class TestCheckpointCoordinator:
+    def test_periodic_checkpoints(self):
+        engine = build_engine()
+        engine.checkpoints = CheckpointCoordinator(500.0, keep=3)
+        engine.run(2000.0)  # 20 cycles of 100ms
+        # baseline at t=0 plus the periodic ones at t=500,1000,1500,2000
+        assert engine.metrics.checkpoints_taken == 5
+        assert engine.metrics.checkpoint_bytes_last > 0
+        assert len(engine.checkpoints.store) == 3  # ring kept the last 3
+        assert engine.checkpoints.store.times() == [1000.0, 1500.0, 2000.0]
+
+    def test_skips_while_node_down_then_retries(self):
+        engine = build_engine()
+        coordinator = CheckpointCoordinator(500.0)
+        assert not coordinator.maybe_checkpoint(engine, 400.0)
+        assert not coordinator.maybe_checkpoint(
+            engine, 500.0, down_nodes=frozenset((0,))
+        )  # due but unaligned: a node is down
+        assert not coordinator.maybe_checkpoint(
+            engine, 600.0, down_nodes=frozenset((0,))
+        )  # same period: still skipped
+        assert coordinator.maybe_checkpoint(engine, 1000.0)  # next boundary
+        assert coordinator.store.times() == [0.0]  # captured engine at t=0
+
+    def test_baseline_taken_once(self):
+        engine = build_engine()
+        coordinator = CheckpointCoordinator(10_000.0)
+        coordinator.ensure_baseline(engine)
+        coordinator.ensure_baseline(engine)
+        assert len(coordinator.store) == 1
+        assert engine.metrics.checkpoints_taken == 1
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointCoordinator(0.0)
+        with pytest.raises(ValueError):
+            CheckpointStore(keep=0)
+
+
+class TestSchedulerSnapshots:
+    def test_base_scheduler_state_is_empty(self):
+        scheduler = DefaultScheduler()
+        assert scheduler.snapshot_state() == {}
+        scheduler.restore_state({})  # no-op by contract
+
+    def test_round_robin_cursor_round_trips(self):
+        scheduler = RoundRobinScheduler()
+        scheduler._cursor = 7
+        state = scheduler.snapshot_state()
+        other = RoundRobinScheduler()
+        other.restore_state(state)
+        assert other._cursor == 7
+
+    def test_klink_mm_state_round_trips(self):
+        scheduler = KlinkScheduler()
+        scheduler._mm_active = True
+        scheduler._mm_entry_util = 0.93
+        scheduler._mm_entry_time = 1234.0
+        scheduler.last_slacks = {"q0": -5.0}
+        scheduler.mm_episodes = 2
+        scheduler._last_overhead_ms = 0.25
+        state = json.loads(json.dumps(scheduler.snapshot_state()))
+        other = KlinkScheduler()
+        other.restore_state(state)
+        assert other._mm_active is True
+        assert other._mm_entry_util == 0.93
+        assert other._mm_entry_time == 1234.0
+        assert other.last_slacks == {"q0": -5.0}
+        assert other.mm_episodes == 2
+        assert other._last_overhead_ms == 0.25
+
+
+class TestRecoveryConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            RecoveryConfig("reboot")
+
+    def test_restart_requires_coordinator(self):
+        with pytest.raises(ValueError, match="Coordinator"):
+            RecoveryManager(RecoveryConfig("restart"), None)
+
+    def test_none_strategy_needs_no_coordinator(self):
+        manager = RecoveryManager(RecoveryConfig("none"), None)
+        assert manager.coordinator is None
+
+
+def test_resilience_summary_not_in_headline_summary():
+    """Resilience counters stay out of summary() so checkpointed
+    no-failure runs compare byte-identical to baselines."""
+    engine = build_engine()
+    engine.checkpoints = CheckpointCoordinator(500.0)
+    engine.run(1000.0)
+    assert "checkpoints_taken" not in engine.metrics.summary()
+    resilience = engine.metrics.resilience_summary()
+    assert resilience["checkpoints_taken"] == 3  # baseline + t=500 + t=1000
+    assert resilience["recoveries"] == 0
+    assert math.isnan(resilience["mean_recovery_time_ms"])
