@@ -4,8 +4,8 @@ PY ?= python
 JOBS ?= 4
 export PYTHONPATH := src
 
-.PHONY: test lint mypy check-plan check-report check-telemetry check \
-	perf bench bench-parallel
+.PHONY: test lint statecheck mypy check-plan check-report check-telemetry \
+	check perf bench bench-parallel
 
 test:
 	$(PY) -m pytest -x -q
@@ -13,8 +13,13 @@ test:
 lint:
 	$(PY) -m repro.analysis.lint src/repro --ci
 
+# State-contract gate: snapshot coverage, capture/restore symmetry,
+# schema-fingerprint freshness, canonical serialization, worker purity.
+statecheck:
+	$(PY) -m repro.analysis.statecheck src/repro
+
 mypy:
-	mypy src/repro/analysis src/repro/obs
+	mypy src/repro/analysis src/repro/obs src/repro/resilience
 
 check-plan:
 	@for wl in ysb lrb nyt; do \
@@ -47,7 +52,7 @@ check-telemetry:
 	$(PY) -m repro.cli compare benchmarks/results/BENCH_ysb.json \
 		$$dir/bench_a.json
 
-check: lint check-plan check-report check-telemetry test
+check: lint statecheck check-plan check-report check-telemetry test
 
 # Wall-clock benchmark of the simulator itself; refreshes the checked-in
 # baseline. Timings are host-dependent — regenerate it on the reference

@@ -1,6 +1,7 @@
-"""Static analysis for the Klink reproduction: determinism lint + plan checks.
+"""Static analysis for the Klink reproduction: lint, plan, and state checks.
 
-Two passes share the :mod:`repro.analysis.report` diagnostic infrastructure:
+Three passes share the :mod:`repro.analysis.report` /
+:mod:`repro.analysis.pragmas` diagnostic infrastructure:
 
 * :mod:`repro.analysis.lint` — an AST linter flagging constructs that
   break byte-for-byte simulation determinism (rule codes ``KL001``...).
@@ -10,6 +11,11 @@ Two passes share the :mod:`repro.analysis.report` diagnostic infrastructure:
   (rule codes ``KP101``...), invoked automatically at ``Engine`` /
   ``DistributedEngine`` submission (disable with ``validate=False``) and
   exposed as ``repro-bench check-plan``.
+* :mod:`repro.analysis.statecheck` — the state-contract analyzer
+  (rule codes ``KS2xx``/``KW3xx``): checkpoint snapshot coverage,
+  capture/restore symmetry, schema-fingerprint drift, canonical
+  serialization, and worker purity. Run it as ``repro-lint --state``,
+  ``python -m repro.analysis.statecheck``, or ``repro-bench statecheck``.
 
 Submodules are loaded lazily (PEP 562) so that ``python -m
 repro.analysis.lint`` does not import the module twice (runpy warns when
@@ -33,6 +39,11 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "check_query": ("repro.analysis.plan_check", "check_query"),
     "check_structure": ("repro.analysis.plan_check", "check_structure"),
     "validate_queries": ("repro.analysis.plan_check", "validate_queries"),
+    "STATE_RULES": ("repro.analysis.statecheck", "STATE_RULES"),
+    "check_paths": ("repro.analysis.statecheck", "check_paths"),
+    "run_statecheck": ("repro.analysis.statecheck", "run_statecheck"),
+    "Pragmas": ("repro.analysis.pragmas", "Pragmas"),
+    "parse_pragmas": ("repro.analysis.pragmas", "parse_pragmas"),
 }
 
 __all__ = sorted(_EXPORTS)

@@ -9,9 +9,9 @@ constructs that silently break it:
 ========  ==============================================================
  code      rule
 ========  ==============================================================
- KL001     wall-clock access (``time.time``, ``perf_counter``,
-           ``datetime.now``, ...) — simulation code must use the
-           virtual clock. Allowed in ``spe/tracing.py`` (observability).
+ KL001     absolute wall-clock access (``time.time``, ``datetime.now``,
+           ...) — simulation code must use the virtual clock. Allowed
+           in ``spe/tracing.py`` (observability).
  KL002     unseeded randomness: the ``random`` module,
            ``numpy.random`` module-level sampling/seeding functions,
            and seedless generator constructors
@@ -27,6 +27,10 @@ constructs that silently break it:
  KL005     float accumulation into watermark/slack state
            (``wm += period``): repeated float addition drifts; derive
            the value from an integer step count instead.
+ KL006     monotonic/interval timer access (``time.monotonic``,
+           ``time.perf_counter``, ``time.process_time``, ...): interval
+           timers measure host time, not simulated time, so any value
+           derived from them varies across machines and runs.
 ========  ==============================================================
 
 A finding on a given line is suppressed with an inline pragma on that
@@ -64,42 +68,55 @@ from typing import (
     Tuple,
 )
 
+from repro.analysis.pragmas import apply_suppressions, parse_pragmas
 from repro.analysis.report import Diagnostic, Report
 
 #: rule code -> one-line summary (rendered by ``--rules`` and the docs)
 RULES: Dict[str, str] = {
     "KL000": "file could not be parsed (syntax error)",
-    "KL001": "wall-clock access in simulation code (use the virtual clock)",
+    "KL001": "absolute wall-clock access in simulation code (use the virtual clock)",
     "KL002": "unseeded randomness (route noise through a seeded Generator)",
     "KL003": "iteration over an unordered set (order depends on PYTHONHASHSEED)",
     "KL004": "id()-based ordering (ids are allocation addresses)",
     "KL005": "float accumulation into watermark/slack state (derive from an integer step count)",
+    "KL006": "monotonic/interval timer access (host time leaks into simulated values)",
 }
 
 #: files (matched by path suffix) with rules that are allowed inside them
 DEFAULT_FILE_ALLOWLIST: Dict[str, FrozenSet[str]] = {
     # Tracing annotates rows with host timestamps for log correlation;
     # nothing in the simulation consumes them.
-    "spe/tracing.py": frozenset({"KL001"}),
+    "spe/tracing.py": frozenset({"KL001", "KL006"}),
     # The perf harness times real wall-clock execution of the simulator;
     # its measurements never feed back into simulated state.
-    "bench/perf.py": frozenset({"KL001"}),
+    "bench/perf.py": frozenset({"KL001", "KL006"}),
 }
 
-_WALL_CLOCK_CALLS = frozenset(
+#: absolute clock reads (KL001): epoch/calendar time
+_ABSOLUTE_CLOCK_CALLS = frozenset(
     {
         "time.time",
         "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: monotonic / interval timer reads (KL006): host durations
+_MONOTONIC_CLOCK_CALLS = frozenset(
+    {
         "time.monotonic",
         "time.monotonic_ns",
         "time.perf_counter",
         "time.perf_counter_ns",
         "time.process_time",
         "time.process_time_ns",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
     }
 )
 
@@ -130,23 +147,6 @@ _SET_PRODUCING_METHODS = frozenset(
 
 #: augmented-assignment targets matched by KL005
 _KL005_NAME = re.compile(r"(watermark|slack|wm_ts)", re.IGNORECASE)
-
-_ALLOW_PRAGMA = re.compile(r"#\s*klink:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
-
-
-def _parse_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
-    """Map line number -> set of rule codes allowed on that line."""
-    allowed: Dict[int, FrozenSet[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_PRAGMA.search(line)
-        if match:
-            codes = frozenset(
-                code.strip().upper()
-                for code in match.group(1).split(",")
-                if code.strip()
-            )
-            allowed[lineno] = codes
-    return allowed
 
 
 class _LintVisitor(ast.NodeVisitor):
@@ -215,12 +215,20 @@ class _LintVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, path: str) -> None:
-        if path in _WALL_CLOCK_CALLS:
+        if path in _ABSOLUTE_CLOCK_CALLS:
             self._flag(
                 node,
                 "KL001",
                 f"wall-clock call {path}() in simulation code; use the "
                 "engine's VirtualClock (or move it to spe/tracing.py)",
+            )
+        elif path in _MONOTONIC_CLOCK_CALLS:
+            self._flag(
+                node,
+                "KL006",
+                f"interval timer {path}() measures host time, not "
+                "simulated time; use the engine's VirtualClock (or move "
+                "the measurement to bench/perf.py)",
             )
 
     def _check_randomness(self, node: ast.Call, path: str) -> None:
@@ -418,14 +426,11 @@ def lint_source(
         return report
     visitor = _LintVisitor(filename)
     visitor.visit(tree)
-    pragmas = _parse_pragmas(source)
-    for diag in visitor.findings:
-        if diag.code in allowed:
-            continue
-        line_allow = pragmas.get(diag.line or -1, frozenset())
-        if diag.code in line_allow or "*" in line_allow:
-            continue
-        report.diagnostics.append(diag)
+    kept, suppressed = apply_suppressions(
+        visitor.findings, parse_pragmas(source), allowed
+    )
+    report.diagnostics.extend(kept)
+    report.record_suppressed(suppressed)
     return report
 
 
@@ -483,11 +488,15 @@ def run_lint(
     paths: Sequence[str],
     output_format: str = "text",
     quiet: bool = False,
+    state: bool = False,
 ) -> Tuple[Report, int]:
     """Shared driver for the console script and ``repro-bench lint``.
 
     Returns ``(report, exit_code)``; prints the rendered report unless
     ``quiet``. Exit code 0 = clean, 1 = findings, 2 = no files found.
+    With ``state=True`` the state-contract analyzer (KS2xx/KW3xx rules,
+    :mod:`repro.analysis.statecheck`) runs over the same paths and its
+    findings are merged into the report.
     """
     files = iter_python_files([Path(p) for p in paths])
     if not files:
@@ -495,13 +504,18 @@ def run_lint(
             print(f"repro-lint: no python files under {list(paths)!r}", file=sys.stderr)
         return Report(), 2
     report = lint_paths([Path(p) for p in paths])
+    if state:
+        from repro.analysis import statecheck
+
+        report.extend(statecheck.check_paths([Path(p) for p in paths]))
     if not quiet:
         if output_format == "json":
             print(report.to_json())
         elif report.diagnostics:
             print(report.render_text())
         else:
-            print(f"repro-lint: {len(files)} file(s) clean")
+            suffix = " (lint + state contract)" if state else ""
+            print(f"repro-lint: {len(files)} file(s) clean{suffix}")
     return report, (1 if report.diagnostics else 0)
 
 
@@ -526,6 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 clean, 1 findings, 2 usage error)",
     )
     parser.add_argument(
+        "--state",
+        action="store_true",
+        help="also run the state-contract analyzer (KS2xx/KW3xx rules)",
+    )
+    parser.add_argument(
         "--rules", action="store_true", help="list rule codes and exit"
     )
     return parser
@@ -536,7 +555,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.rules:
         print(_render_rules())
         return 0
-    _, code = run_lint(args.paths, output_format=args.output_format)
+    _, code = run_lint(
+        args.paths, output_format=args.output_format, state=args.state
+    )
     return code
 
 

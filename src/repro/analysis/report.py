@@ -1,11 +1,15 @@
 """Shared diagnostic and reporting infrastructure for analysis passes.
 
-Both analysis passes — the determinism linter (:mod:`repro.analysis.lint`)
-and the query-plan validator (:mod:`repro.analysis.plan_check`) — emit
+The analysis passes — the determinism linter (:mod:`repro.analysis.lint`),
+the query-plan validator (:mod:`repro.analysis.plan_check`), and the
+state-contract analyzer (:mod:`repro.analysis.statecheck`) — emit
 :class:`Diagnostic` records collected into a :class:`Report`. A diagnostic
 carries a stable rule code (``KL...`` for lint rules, ``KP...`` for plan
-rules), a severity, and either a source location (file/line/col, lint) or
-a plan location (``where``: the operator or source it concerns).
+rules, ``KS...``/``KW...`` for state-contract rules), a severity, and
+either a source location (file/line/col) or a plan location (``where``:
+the operator or source it concerns). The code prefix determines the rule
+*category* (:func:`rule_category`), surfaced in JSON output so CI
+artifacts stay diffable across analyzers.
 
 Severities:
 
@@ -22,6 +26,22 @@ from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 SEVERITIES = ("error", "warning", "advice")
+
+#: rule-code prefix -> category label (longest prefix wins)
+CATEGORIES: Dict[str, str] = {
+    "KL": "determinism",
+    "KP": "plan",
+    "KS": "state",
+    "KW": "worker-purity",
+}
+
+
+def rule_category(code: str) -> str:
+    """Category label for a rule code (``"other"`` for unknown prefixes)."""
+    for prefix, label in CATEGORIES.items():
+        if code.startswith(prefix):
+            return label
+    return "other"
 
 
 @dataclass(frozen=True)
@@ -56,8 +76,14 @@ class Diagnostic:
             prefix = "<plan>"
         return f"{prefix}: {self.code} [{self.severity}] {self.message}"
 
+    @property
+    def category(self) -> str:
+        return rule_category(self.code)
+
     def to_dict(self) -> Dict[str, Union[str, int, None]]:
-        return {k: v for k, v in asdict(self).items() if v is not None}
+        payload = {k: v for k, v in asdict(self).items() if v is not None}
+        payload["category"] = self.category
+        return payload
 
 
 class Report:
@@ -65,6 +91,8 @@ class Report:
 
     def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
         self.diagnostics: List[Diagnostic] = list(diagnostics)
+        #: rule code -> findings swallowed by pragmas / file allowlists
+        self.suppressed: Dict[str, int] = {}
 
     # -- collection --------------------------------------------------------
 
@@ -94,9 +122,15 @@ class Report:
     def extend(self, other: Union["Report", Iterable[Diagnostic]]) -> "Report":
         if isinstance(other, Report):
             self.diagnostics.extend(other.diagnostics)
+            self.record_suppressed(other.suppressed)
         else:
             self.diagnostics.extend(other)
         return self
+
+    def record_suppressed(self, counts: Dict[str, int]) -> None:
+        """Merge per-code suppression tallies into this report."""
+        for code, count in counts.items():
+            self.suppressed[code] = self.suppressed.get(code, 0) + count
 
     # -- queries -----------------------------------------------------------
 
@@ -140,6 +174,13 @@ class Report:
         )
         return "\n".join(lines)
 
+    def category_counts(self) -> Dict[str, int]:
+        """Finding counts keyed by rule category, sorted by label."""
+        counts: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.category] = counts.get(diag.category, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_json(self) -> str:
         return json.dumps(
             {
@@ -147,9 +188,13 @@ class Report:
                 "counts": {
                     sev: len(self.by_severity(sev)) for sev in SEVERITIES
                 },
+                "categories": self.category_counts(),
+                "suppressed": dict(sorted(self.suppressed.items())),
+                "suppressed_total": sum(self.suppressed.values()),
                 "diagnostics": [d.to_dict() for d in self.diagnostics],
             },
             indent=2,
+            sort_keys=True,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -503,7 +503,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import run_lint
 
     _, exit_code = run_lint(
-        args.paths, output_format=args.format, quiet=args.quiet
+        args.paths,
+        output_format=args.format,
+        quiet=args.quiet,
+        state=args.state,
+    )
+    return exit_code
+
+
+def cmd_statecheck(args: argparse.Namespace) -> int:
+    from repro.analysis.statecheck import run_statecheck
+
+    _, exit_code = run_statecheck(
+        args.paths,
+        output_format=args.format,
+        update_fingerprint=args.update_fingerprint,
     )
     return exit_code
 
@@ -698,7 +712,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--format", default="text", choices=["text", "json"])
     lint_p.add_argument("--quiet", action="store_true",
                         help="suppress the summary line")
+    lint_p.add_argument("--state", action="store_true",
+                        help="also run the state-contract analyzer "
+                        "(KS2xx/KW3xx rules)")
     lint_p.set_defaults(func=cmd_lint)
+
+    state_p = sub.add_parser(
+        "statecheck",
+        help="check the checkpoint state contract (KS2xx/KW3xx rules)",
+    )
+    state_p.add_argument("paths", nargs="*", default=["src/repro"],
+                         help="package roots to analyze (default src/repro)")
+    state_p.add_argument("--format", default="text", choices=["text", "json"])
+    state_p.add_argument("--update-fingerprint", action="store_true",
+                         help="rewrite resilience/schema_fingerprint.json "
+                         "from the current contract")
+    state_p.set_defaults(func=cmd_statecheck)
 
     check_p = sub.add_parser(
         "check-plan",

@@ -79,5 +79,21 @@ class ClassBasedScheduler(Scheduler):
                 out.append(replace(decision, rank=rank))
         return out
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """Class assignments change at runtime (:meth:`assign`), so they
+        are checkpoint state — as is the inner policy's own state."""
+        return {
+            "query_classes": dict(self.query_classes),
+            "inner": self.inner.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        classes = state["query_classes"]
+        assert isinstance(classes, dict)
+        self.query_classes = {str(k): int(v) for k, v in classes.items()}
+        inner = state["inner"]
+        assert isinstance(inner, dict)
+        self.inner.restore_state(inner)
+
     def reset(self) -> None:
         self.inner.reset()

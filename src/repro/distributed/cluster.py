@@ -374,7 +374,7 @@ class DistributedEngine(Engine):
         for query in self.queries:
             for op in query.operators:
                 if self.plan.node_of[id(op)] == node:
-                    self.plan.node_of[id(op)] = target
+                    self.plan.node_of[id(op)] = target  # klink: transient[placement is infrastructure state: failover re-placement survives rollback, like the wall clock]
         # Re-derive which edges now cross nodes (the moved operators may
         # have gained or lost co-location with their neighbours).
         for query in self.queries:
@@ -386,7 +386,7 @@ class DistributedEngine(Engine):
                 if id(op) in cross:
                     channel.latency_ms = self.rpc_latency_ms
                     if channel not in self._delayed_channels:
-                        self._delayed_channels.append(channel)
+                        self._delayed_channels.append(channel)  # klink: transient[derived channel wiring, re-computed from the placement plan]
                 else:
                     channel.latency_ms = 0.0
 

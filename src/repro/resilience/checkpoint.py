@@ -46,6 +46,7 @@ from repro.spe.operators import (
     _WindowedOperatorBase,
 )
 from repro.spe.query import EpochStats, PeriodicCursor, Query, SourceBinding
+from repro.spe.reorder import ReorderBuffer
 from repro.spe.streams import Channel, _Entry
 from repro.spe.watermarks import (
     BoundedOutOfOrderness,
@@ -103,7 +104,8 @@ class CheckpointError(ValueError):
 
 def _rng_state(rng: Any) -> Dict[str, Any]:
     """A numpy Generator's bit-generator state (plain ints, JSON-exact)."""
-    return rng.bit_generator.state
+    state: Dict[str, Any] = rng.bit_generator.state
+    return state
 
 
 def _set_rng_state(rng: Any, state: Dict[str, Any]) -> None:
@@ -264,6 +266,13 @@ def _operator_state(op: Operator) -> Dict[str, Any]:
             "regressions_suppressed": op.regressions_suppressed,
             "strategy": _strategy_state(op.strategy),
         }
+    if isinstance(op, ReorderBuffer):
+        state["reorder"] = {
+            "buffer": [_encode_record(b) for b in op._buffer],
+            "buffered_events": op._buffered_events,
+            "buffered_bytes": op._buffered_bytes,
+            "released_events": op.released_events,
+        }
     return state
 
 
@@ -307,6 +316,20 @@ def _restore_operator(op: Operator, state: Dict[str, Any]) -> None:
         op.watermarks_emitted = int(wm_gen["watermarks_emitted"])
         op.regressions_suppressed = int(wm_gen["regressions_suppressed"])
         _restore_strategy(op.strategy, wm_gen["strategy"])
+    if isinstance(op, ReorderBuffer):
+        reorder = state["reorder"]
+        buffer: List[EventBatch] = []
+        for encoded in reorder["buffer"]:
+            record = _decode_record(encoded)
+            if not isinstance(record, EventBatch):  # pragma: no cover - defensive
+                raise CheckpointError(
+                    f"reorder buffer holds a non-batch record: {record!r}"
+                )
+            buffer.append(record)
+        op._buffer = buffer
+        op._buffered_events = float(reorder["buffered_events"])
+        op._buffered_bytes = float(reorder["buffered_bytes"])
+        op.released_events = float(reorder["released_events"])
 
 
 # -- source bindings --------------------------------------------------------
@@ -607,10 +630,26 @@ def serialize(snapshot: Dict[str, Any]) -> str:
 
 
 def deserialize(text: str) -> Dict[str, Any]:
-    """Parse a snapshot serialized by :func:`serialize`."""
-    snapshot = json.loads(text)
+    """Parse a snapshot serialized by :func:`serialize`.
+
+    Raises :class:`CheckpointError` (not a bare ``json`` error) on
+    corrupt input, so callers handle storage corruption and schema
+    drift through one exception type.
+    """
+    try:
+        snapshot = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt snapshot: not valid JSON at line {exc.lineno} "
+            f"column {exc.colno} ({exc.msg}); the checkpoint file is "
+            "truncated or damaged — discard it and fall back to an "
+            "earlier checkpoint"
+        ) from exc
     if not isinstance(snapshot, dict):
-        raise CheckpointError("snapshot text does not decode to an object")
+        raise CheckpointError(
+            "corrupt snapshot: text decodes to "
+            f"{type(snapshot).__name__}, expected a snapshot object"
+        )
     return snapshot
 
 

@@ -96,18 +96,18 @@ class RunMetrics:
     alert_counts: Dict[str, int] = field(default_factory=dict)
     #: per-operator profiles, populated at the end of a run when an
     #: OperatorProfiler is attached to the engine (repro.obs.profile).
-    operator_profiles: List["OperatorProfile"] = field(default_factory=list)
+    operator_profiles: List["OperatorProfile"] = field(default_factory=list)  # klink: transient[end-of-run observability artifact, not run state]
     # resilience accounting, populated by repro.resilience when a
     # CheckpointCoordinator / RecoveryManager is attached; these are
     # processing-time counters and are never rolled back by a restore
-    checkpoints_taken: int = 0
-    checkpoint_bytes_last: int = 0
-    recoveries: int = 0
-    recovery_time_ms: List[float] = field(default_factory=list)
-    replay_span_ms: List[float] = field(default_factory=list)
-    recovery_events: List[Dict[str, object]] = field(default_factory=list)
-    events_lost_to_failures: float = 0.0
-    post_failure_latency_inflation: float = math.nan
+    checkpoints_taken: int = 0  # klink: transient[processing-time resilience accounting; never rolls back]
+    checkpoint_bytes_last: int = 0  # klink: transient[processing-time resilience accounting; never rolls back]
+    recoveries: int = 0  # klink: transient[processing-time resilience accounting; never rolls back]
+    recovery_time_ms: List[float] = field(default_factory=list)  # klink: transient[processing-time resilience accounting; never rolls back]
+    replay_span_ms: List[float] = field(default_factory=list)  # klink: transient[processing-time resilience accounting; never rolls back]
+    recovery_events: List[Dict[str, object]] = field(default_factory=list)  # klink: transient[processing-time resilience accounting; never rolls back]
+    events_lost_to_failures: float = 0.0  # klink: transient[processing-time resilience accounting; never rolls back]
+    post_failure_latency_inflation: float = math.nan  # klink: transient[processing-time resilience accounting; never rolls back]
 
     # -- latency ------------------------------------------------------------
 

@@ -122,14 +122,14 @@ class Operator:
 
     def connect(self, downstream: "Operator", input_index: int = 0) -> None:
         """Wire this operator's output to ``downstream``'s input channel."""
-        self.output = downstream.inputs[input_index]
+        self.output = downstream.inputs[input_index]  # klink: transient[build-time wiring, fixed for the life of the topology]
 
     # -- scheduler-facing introspection ---------------------------------------
 
     def _refresh_queue_memo(self) -> None:
-        self._queued_events_memo = sum(ch.queued_events for ch in self.inputs)
-        self._queued_bytes_memo = sum(ch.queued_bytes for ch in self.inputs)
-        self._queues_dirty = False
+        self._queued_events_memo = sum(ch.queued_events for ch in self.inputs)  # klink: transient[memo over channel state, which is captured]
+        self._queued_bytes_memo = sum(ch.queued_bytes for ch in self.inputs)  # klink: transient[memo over channel state, which is captured]
+        self._queues_dirty = False  # klink: transient[memo validity flag; restore marks it dirty]
 
     @property
     def queued_events(self) -> float:

@@ -63,7 +63,7 @@ class Channel:
             self._queued_bytes += record.bytes
             self.events_pushed += record.count
             if self._owner is not None:
-                self._owner._queues_dirty = True
+                self._owner._queues_dirty = True  # klink: transient[back-pointer; only invalidates the owner's queue memo]
 
     def release(self, now: float) -> int:
         """Deliver in-flight records whose transfer completed; returns count."""

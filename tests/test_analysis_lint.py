@@ -45,9 +45,8 @@ class TestKL001:
     def test_time_time(self):
         assert codes("import time\nt = time.time()\n") == ["KL001"]
 
-    def test_perf_counter_through_from_import_alias(self):
-        src = "from time import perf_counter as pc\nt = pc()\n"
-        assert codes(src) == ["KL001"]
+    def test_time_ns(self):
+        assert codes("import time\nt = time.time_ns()\n") == ["KL001"]
 
     def test_datetime_now(self):
         src = "import datetime\nd = datetime.datetime.now()\n"
@@ -68,6 +67,33 @@ class TestKL001:
     def test_time_sleep_is_clean(self):
         # Only *reading* the wall clock is flagged.
         assert codes("import time\ntime.sleep(0)\n") == []
+
+
+# -- KL006: monotonic / interval timers --------------------------------------
+
+
+class TestKL006:
+    def test_monotonic(self):
+        assert codes("import time\nt = time.monotonic()\n") == ["KL006"]
+
+    def test_perf_counter_through_from_import_alias(self):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        assert codes(src) == ["KL006"]
+
+    def test_process_time_ns(self):
+        assert codes("import time\nt = time.process_time_ns()\n") == ["KL006"]
+
+    def test_suppressed_by_pragma(self):
+        src = "import time\nt = time.monotonic()  # klink: allow[KL006]\n"
+        assert codes(src) == []
+
+    def test_file_allowlist_suppresses_whole_rule(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert codes(src, allowed=frozenset({"KL006"})) == []
+
+    def test_absolute_clock_still_kl001(self):
+        # The split is disjoint: time.time stays KL001, never KL006.
+        assert codes("import time\nt = time.time()\n") == ["KL001"]
 
 
 # -- KL002: unseeded randomness ----------------------------------------------
@@ -208,9 +234,12 @@ class TestDrivers:
 
     def test_default_allowlist_covers_tracing(self):
         assert "KL001" in DEFAULT_FILE_ALLOWLIST["spe/tracing.py"]
+        assert "KL006" in DEFAULT_FILE_ALLOWLIST["bench/perf.py"]
 
     def test_rules_table_matches_emitted_codes(self):
-        assert set(RULES) == {"KL000", "KL001", "KL002", "KL003", "KL004", "KL005"}
+        assert set(RULES) == {
+            "KL000", "KL001", "KL002", "KL003", "KL004", "KL005", "KL006",
+        }
 
 
 class TestShippedTreeIsClean:
@@ -270,6 +299,20 @@ class TestCli:
         assert payload["ok"] is False
         assert payload["counts"]["error"] == 1
         assert payload["diagnostics"][0]["code"] == "KL004"
+
+    def test_json_includes_categories_and_suppression_counts(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n"
+            "t = time.time()\n"
+            "u = time.monotonic()  # klink: allow[KL006]\n"
+        )
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["categories"] == {"determinism": 1}
+        assert payload["suppressed"] == {"KL006": 1}
+        assert payload["suppressed_total"] == 1
+        assert payload["diagnostics"][0]["category"] == "determinism"
 
     def test_rules_listing(self, capsys):
         assert main(["--rules"]) == 0

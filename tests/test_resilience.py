@@ -258,3 +258,120 @@ def test_resilience_summary_not_in_headline_summary():
     assert resilience["checkpoints_taken"] == 3  # baseline + t=500 + t=1000
     assert resilience["recoveries"] == 0
     assert math.isnan(resilience["mean_recovery_time_ms"])
+
+
+# -- error paths: the contract must fail loudly, with actionable text --------
+
+
+class TestDeserializeCorruption:
+    def test_truncated_json_raises_checkpoint_error(self):
+        engine = build_engine()
+        text = serialize(capture(engine))
+        with pytest.raises(CheckpointError) as exc_info:
+            deserialize(text[: len(text) // 2])
+        message = str(exc_info.value)
+        assert "corrupt snapshot" in message
+        # the message localizes the damage and tells the caller what to do
+        assert "line" in message and "column" in message
+        assert "earlier checkpoint" in message
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(CheckpointError, match="corrupt snapshot"):
+            deserialize("not json at all {")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(CheckpointError, match="expected a snapshot object"):
+            deserialize("[1, 2, 3]")
+
+    def test_error_chains_the_json_cause(self):
+        try:
+            deserialize("{broken")
+        except CheckpointError as exc:
+            assert isinstance(exc.__cause__, json.JSONDecodeError)
+        else:
+            pytest.fail("CheckpointError not raised")
+
+
+class TestTopologyValidation:
+    def test_operator_rename_rejected(self):
+        engine = build_engine()
+        engine.run(300.0)
+        snapshot = capture(engine)
+        snapshot["queries"][0]["operator_names"][-1] = "renamed.sink"
+        with pytest.raises(CheckpointError, match="operator topology"):
+            restore(build_engine(), snapshot)
+
+    def test_query_id_mismatch_rejected(self):
+        engine = build_engine()
+        engine.run(300.0)
+        snapshot = capture(engine)
+        snapshot["queries"][0]["query_id"] = "somebody-else"
+        with pytest.raises(CheckpointError, match="query id mismatch"):
+            restore(build_engine(), snapshot)
+
+
+# -- operators gaining checkpoint support must round-trip --------------------
+
+
+def build_reorder_engine(seed: int = 0) -> Engine:
+    """source -> reorder buffer -> filter -> window -> sink, with enough
+    network jitter that the buffer holds in-flight batches mid-run."""
+    from repro.net.delays import UniformDelay
+    from repro.spe.operators import FilterOperator, SinkOperator, WindowedAggregate
+    from repro.spe.query import Query, SourceBinding, SourceSpec
+    from repro.spe.reorder import ReorderBuffer
+    from repro.spe.windows import TumblingEventTimeWindows
+
+    model = UniformDelay(0.0, 200.0, seed=5)
+    spec = SourceSpec(
+        name="src", rate_eps=1000.0, watermark_period_ms=500.0,
+        lateness_ms=model.bound, delay_model=model,
+    )
+    reorder = ReorderBuffer("rb", state_bytes_per_event=16)
+    filt = FilterOperator("f", 0.01, selectivity=0.5)
+    window = WindowedAggregate(
+        "w", TumblingEventTimeWindows(1000.0), 0.01,
+        output_events_per_pane=10, key_by="key",
+    )
+    sink = SinkOperator("snk")
+    operators = [reorder, filt, window, sink]
+    for up, down in zip(operators, operators[1:]):
+        up.connect(down)
+    query = Query("q", [SourceBinding(spec, reorder, seed=seed)], operators, sink)
+    return Engine(
+        [query], DefaultScheduler(), cores=4, cycle_ms=100.0,
+        memory=MemoryConfig(capacity_bytes=256 * MB), seed=seed,
+    )
+
+
+class TestReorderBufferCheckpoint:
+    def test_buffered_batches_are_captured(self):
+        engine = build_reorder_engine()
+        engine.run(2500.0)
+        snapshot = capture(engine)
+        op_states = snapshot["queries"][0]["operators"]
+        reorder_states = [s for s in op_states if "reorder" in s]
+        assert len(reorder_states) == 1
+
+    def test_roundtrip_is_byte_identical(self):
+        engine = build_reorder_engine()
+        engine.run(2500.0)
+        text = serialize(capture(engine))
+        fresh = build_reorder_engine()
+        restore(fresh, deserialize(text), mode="resume")
+        assert serialize(capture(fresh)) == text
+
+    def test_resumed_run_equals_uninterrupted(self):
+        full = build_reorder_engine()
+        full.run(5000.0)
+
+        first = build_reorder_engine()
+        first.run(2500.0)
+        snapshot = deserialize(serialize(capture(first)))
+        resumed = build_reorder_engine()
+        restore(resumed, snapshot, mode="resume")
+        resumed.run(5000.0 - resumed.clock.now)
+
+        assert json.dumps(resumed.metrics.summary(), sort_keys=True) == json.dumps(
+            full.metrics.summary(), sort_keys=True
+        )

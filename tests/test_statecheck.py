@@ -1,0 +1,737 @@
+"""Tests for the state-contract analyzer (repro.analysis.statecheck).
+
+Two kinds of proof live here:
+
+* **Tree-clean self-check** — the shipped package must pass every
+  KS2xx/KW3xx rule (the same gate CI runs).
+* **Mutation tests** — the analyzer's teeth: copy the real tree into a
+  tmpdir, re-introduce the exact bug classes the rules exist for, and
+  assert the corresponding diagnostic fires. If a refactor ever
+  neuters a rule, these fail before the rule silently stops guarding
+  the checkpoint contract.
+
+The synthetic-package tests below exercise each rule in isolation
+against a minimal `pkg/resilience/checkpoint.py` layout.
+"""
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.statecheck import (
+    STATE_RULES,
+    check_paths,
+    main,
+    run_statecheck,
+)
+
+SRC = Path(repro.__file__).resolve().parent
+
+FINGERPRINT_REL = "resilience/schema_fingerprint.json"
+
+
+def codes(report):
+    return sorted({d.code for d in report.diagnostics})
+
+
+def messages(report):
+    return "\n".join(d.message for d in report.diagnostics)
+
+
+# -- synthetic package builders ----------------------------------------------
+
+CLEAN_CHECKPOINT = """\
+import json
+
+SCHEMA_VERSION = 1
+
+
+def _channel_state(channel):
+    return {"pending": list(channel.pending), "pushed": channel.pushed}
+
+
+def _restore_channel(channel, state):
+    channel.pending = list(state["pending"])
+    channel.pushed = float(state["pushed"])
+
+
+def serialize(snapshot):
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+"""
+
+CLEAN_CHANNEL = """\
+class Channel:
+    def __init__(self):
+        self.pending = []
+        self.pushed = 0.0
+
+    def push(self, item):
+        self.pending.append(item)
+        self.pushed += 1.0
+"""
+
+
+def make_pkg(tmp_path, checkpoint=CLEAN_CHECKPOINT, files=None):
+    """Materialize a synthetic package with the resilience/ layout the
+    analyzer anchors on."""
+    root = tmp_path / "pkg"
+    (root / "resilience").mkdir(parents=True)
+    (root / "resilience" / "checkpoint.py").write_text(
+        checkpoint, encoding="utf-8"
+    )
+    for rel, text in (files or {}).items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def tree_copy(tmp_path):
+    """A private copy of the shipped package, safe to mutate."""
+    dest = tmp_path / "repro"
+    shutil.copytree(SRC, dest, ignore=shutil.ignore_patterns("__pycache__"))
+    return dest
+
+
+# -- the shipped tree must be clean ------------------------------------------
+
+
+class TestShippedTreeIsClean:
+    def test_no_diagnostics(self):
+        report = check_paths([SRC])
+        assert report.diagnostics == [], report.render_text()
+
+    def test_transient_suppressions_are_counted_not_silent(self):
+        report = check_paths([SRC])
+        assert report.suppressed.get("KS201", 0) > 0
+
+    def test_fingerprint_file_is_committed_and_well_formed(self):
+        payload = json.loads((SRC / FINGERPRINT_REL).read_text())
+        assert payload["schema_version"] == 1
+        assert "fingerprint" in payload
+        # the contract covers every helper-pair entry plus schedulers
+        for entry in ("engine", "operator", "channel", "binding", "metrics"):
+            assert entry in payload["contract"]
+        assert any(k.startswith("scheduler:") for k in payload["contract"])
+
+
+# -- mutation tests: the analyzer's teeth ------------------------------------
+
+
+class TestMutationTeeth:
+    def test_new_uncaptured_attr_fires_ks201(self, tree_copy):
+        """Teeth (a): add an uncaptured mutable attribute to a
+        checkpointed class; KS201 must fire."""
+        streams = tree_copy / "spe" / "streams.py"
+        streams.write_text(
+            streams.read_text()
+            + textwrap.dedent(
+                """
+
+                class LeakyChannel(Channel):
+                    def poke(self) -> None:
+                        self._sneaky = 1.0
+                """
+            )
+        )
+        report = check_paths([tree_copy])
+        ks201 = [d for d in report.diagnostics if d.code == "KS201"]
+        assert ks201, report.render_text()
+        assert any("LeakyChannel._sneaky" in d.message for d in ks201)
+
+    @staticmethod
+    def _widen_channel_contract(tree_copy):
+        """Symmetrically add a new captured+restored channel field."""
+        checkpoint = tree_copy / "resilience" / "checkpoint.py"
+        source = checkpoint.read_text()
+        capture_anchor = '"pushed": channel.events_pushed,'
+        restore_anchor = 'channel.events_pushed = float(state["pushed"])'
+        assert source.count(capture_anchor) == 1
+        assert source.count(restore_anchor) == 1
+        source = source.replace(
+            capture_anchor,
+            capture_anchor + '\n        "sneaky_extra": channel.sneaky_extra,',
+        )
+        source = source.replace(
+            restore_anchor,
+            restore_anchor + '\n    channel.sneaky_extra = state["sneaky_extra"]',
+        )
+        checkpoint.write_text(source)
+        return checkpoint
+
+    def test_field_set_change_without_version_bump_fires_ks210(self, tree_copy):
+        """Teeth (b): widen the captured field set while SCHEMA_VERSION
+        stays put; KS210 must fire."""
+        self._widen_channel_contract(tree_copy)
+        report = check_paths([tree_copy])
+        ks210 = [d for d in report.diagnostics if d.code == "KS210"]
+        assert ks210, report.render_text()
+        assert "sneaky_extra" in ks210[0].message
+        assert "SCHEMA_VERSION" in ks210[0].message
+
+    def test_ks210_refuses_update_fingerprint(self, tree_copy):
+        """--update-fingerprint must never bless a drifted contract."""
+        self._widen_channel_contract(tree_copy)
+        fingerprint = tree_copy / FINGERPRINT_REL
+        before = fingerprint.read_bytes()
+        report = check_paths([tree_copy], update_fingerprint=True)
+        assert "KS210" in codes(report)
+        assert fingerprint.read_bytes() == before
+
+    def test_version_bump_plus_refresh_clears_ks210(self, tree_copy):
+        checkpoint = self._widen_channel_contract(tree_copy)
+        source = checkpoint.read_text()
+        assert source.count("SCHEMA_VERSION = 1") == 1
+        checkpoint.write_text(
+            source.replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
+        )
+        # stale fingerprint now reports KS211 (regenerable), not KS210
+        report = check_paths([tree_copy])
+        assert codes(report) == ["KS211"]
+        assert "stale" in messages(report)
+        # regenerating blesses the bumped schema; the tree is clean again
+        check_paths([tree_copy], update_fingerprint=True)
+        report = check_paths([tree_copy])
+        assert report.diagnostics == [], report.render_text()
+        payload = json.loads((tree_copy / FINGERPRINT_REL).read_text())
+        assert payload["schema_version"] == 2
+        assert "sneaky_extra" in payload["contract"]["channel"]
+
+
+# -- KS201/KS202: coverage and symmetry (synthetic) --------------------------
+
+
+class TestCoverageRules:
+    def test_clean_synthetic_package(self, tmp_path):
+        root = make_pkg(tmp_path, files={"spe/streams.py": CLEAN_CHANNEL})
+        check_paths([root], update_fingerprint=True)
+        report = check_paths([root])
+        assert report.diagnostics == [], report.render_text()
+
+    def test_uncaptured_attr_fires_ks201(self, tmp_path):
+        channel = CLEAN_CHANNEL + (
+            "\n    def mark(self):\n        self.dirty = True\n"
+        )
+        root = make_pkg(tmp_path, files={"spe/streams.py": channel})
+        report = check_paths([root])
+        ks201 = [d for d in report.diagnostics if d.code == "KS201"]
+        assert len(ks201) == 1
+        assert "Channel.dirty" in ks201[0].message
+        assert "transient[reason]" in ks201[0].message
+
+    def test_transient_pragma_suppresses_and_is_counted(self, tmp_path):
+        channel = CLEAN_CHANNEL + (
+            "\n    def mark(self):\n"
+            "        self.dirty = True  # klink: transient[memo flag]\n"
+        )
+        root = make_pkg(tmp_path, files={"spe/streams.py": channel})
+        report = check_paths([root])
+        assert "KS201" not in codes(report)
+        assert report.suppressed == {"KS201": 1}
+
+    def test_subclass_of_checkpointed_class_is_covered(self, tmp_path):
+        channel = CLEAN_CHANNEL + textwrap.dedent(
+            """
+
+            class PriorityChannel(Channel):
+                def bump(self):
+                    self.priority = 1
+            """
+        )
+        root = make_pkg(tmp_path, files={"spe/streams.py": channel})
+        report = check_paths([root])
+        assert any(
+            d.code == "KS201" and "PriorityChannel.priority" in d.message
+            for d in report.diagnostics
+        )
+
+    def test_captured_but_never_restored_fires_ks202(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT.replace(
+            '"pushed": channel.pushed}',
+            '"pushed": channel.pushed, "extra": channel.extra}',
+        )
+        root = make_pkg(tmp_path, checkpoint=checkpoint)
+        report = check_paths([root])
+        ks202 = [d for d in report.diagnostics if d.code == "KS202"]
+        assert len(ks202) == 1
+        assert "'extra'" in ks202[0].message
+        assert "never touched" in ks202[0].message
+
+    def test_restored_but_never_captured_fires_ks202(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT.replace(
+            'channel.pushed = float(state["pushed"])',
+            'channel.pushed = float(state["pushed"])\n    channel.ghost = 0.0',
+        )
+        root = make_pkg(tmp_path, checkpoint=checkpoint)
+        report = check_paths([root])
+        ks202 = [d for d in report.diagnostics if d.code == "KS202"]
+        assert len(ks202) == 1
+        assert "'ghost'" in ks202[0].message
+        assert "never captured" in ks202[0].message
+
+    def test_dataclass_fields_need_coverage(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT + textwrap.dedent(
+            """
+
+            def _metrics_state(metrics):
+                return {"cycles": metrics.cycles}
+
+
+            def _restore_metrics(metrics, state):
+                metrics.cycles = int(state["cycles"])
+            """
+        )
+        metrics = """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class RunMetrics:
+                cycles: int = 0
+                swm_latencies: list = field(default_factory=list)
+        """
+        root = make_pkg(
+            tmp_path, checkpoint=checkpoint, files={"spe/metrics.py": metrics}
+        )
+        report = check_paths([root])
+        assert any(
+            d.code == "KS201" and "RunMetrics.swm_latencies" in d.message
+            for d in report.diagnostics
+        )
+
+    def test_getattr_loop_over_constant_tuple_counts_as_coverage(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT + textwrap.dedent(
+            """
+
+            _SCALARS = ("cycles", "events")
+
+
+            def _metrics_state(metrics):
+                return {name: getattr(metrics, name) for name in _SCALARS}
+
+
+            def _restore_metrics(metrics, state):
+                for name in _SCALARS:
+                    setattr(metrics, name, state[name])
+            """
+        )
+        metrics = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunMetrics:
+                cycles: int = 0
+                events: float = 0.0
+        """
+        root = make_pkg(
+            tmp_path, checkpoint=checkpoint, files={"spe/metrics.py": metrics}
+        )
+        report = check_paths([root])
+        assert "KS201" not in codes(report), report.render_text()
+
+
+class TestSchedulerRules:
+    SCHED = """
+        class Scheduler:
+            def snapshot_state(self):
+                return {"quantum": self.quantum}
+
+            def restore_state(self, state):
+                self.quantum = float(state["quantum"])
+
+
+        class FancyScheduler(Scheduler):
+            def assign(self, q):
+                self.assignments = {q: 1}
+    """
+
+    def test_inherited_snapshot_does_not_cover_new_fields(self, tmp_path):
+        root = make_pkg(tmp_path, files={"core/sched.py": self.SCHED})
+        report = check_paths([root])
+        assert any(
+            d.code == "KS201" and "FancyScheduler.assignments" in d.message
+            for d in report.diagnostics
+        )
+
+    ONE_SIDED = """
+        class Scheduler:
+            def snapshot_state(self):
+                return {"quantum": self.quantum}
+
+            def restore_state(self, state):
+                self.quantum = float(state["quantum"])
+
+
+        class FancyScheduler(Scheduler):
+            def assign(self, q):
+                self.assignments = {q: 1}
+
+            def snapshot_state(self):
+                return {"assignments": dict(self.assignments)}
+    """
+
+    def test_one_sided_override_fires_ks202(self, tmp_path):
+        root = make_pkg(tmp_path, files={"core/sched.py": self.ONE_SIDED})
+        report = check_paths([root])
+        assert any(
+            d.code == "KS202" and "without restore_state" in d.message
+            for d in report.diagnostics
+        )
+
+
+# -- KS22x: canonical serialization (synthetic) ------------------------------
+
+
+class TestSerializationRules:
+    def test_dumps_without_sort_keys_fires_ks221(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT.replace(
+            "json.dumps(snapshot, sort_keys=True, separators=(\",\", \":\"))",
+            "json.dumps(snapshot)",
+        )
+        root = make_pkg(tmp_path, checkpoint=checkpoint)
+        report = check_paths([root])
+        assert "KS221" in codes(report)
+
+    def test_bench_cache_is_also_a_canonical_path(self, tmp_path):
+        cache = """
+            import json
+
+            def fingerprint(payload):
+                return json.dumps(payload)
+        """
+        root = make_pkg(tmp_path, files={"bench/cache.py": cache})
+        report = check_paths([root])
+        ks221 = [d for d in report.diagnostics if d.code == "KS221"]
+        assert len(ks221) == 1
+        assert ks221[0].file.endswith("bench/cache.py")
+
+    def test_other_modules_are_out_of_scope(self, tmp_path):
+        other = """
+            import json
+
+            def export(payload):
+                return json.dumps(payload)
+        """
+        root = make_pkg(tmp_path, files={"obs/export.py": other})
+        report = check_paths([root])
+        assert "KS221" not in codes(report)
+
+    def test_list_of_dict_items_fires_ks222(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT + textwrap.dedent(
+            """
+
+            def _rows(mapping):
+                return list(mapping.items())
+            """
+        )
+        root = make_pkg(tmp_path, checkpoint=checkpoint)
+        report = check_paths([root])
+        assert "KS222" in codes(report)
+
+    def test_listcomp_over_keys_fires_ks222(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT + textwrap.dedent(
+            """
+
+            def _names(mapping):
+                return [k for k in mapping.keys()]
+            """
+        )
+        root = make_pkg(tmp_path, checkpoint=checkpoint)
+        report = check_paths([root])
+        assert "KS222" in codes(report)
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT + textwrap.dedent(
+            """
+
+            def _rows(mapping):
+                return sorted(mapping.items())
+            """
+        )
+        root = make_pkg(tmp_path, checkpoint=checkpoint)
+        report = check_paths([root])
+        assert "KS222" not in codes(report)
+
+    def test_allow_pragma_suppresses_ks221(self, tmp_path):
+        checkpoint = CLEAN_CHECKPOINT.replace(
+            "json.dumps(snapshot, sort_keys=True, separators=(\",\", \":\"))",
+            "json.dumps(snapshot)  # klink: allow[KS221]",
+        )
+        root = make_pkg(tmp_path, checkpoint=checkpoint)
+        report = check_paths([root])
+        assert "KS221" not in codes(report)
+        assert report.suppressed.get("KS221") == 1
+
+
+class TestCursorDrift:
+    def _pkg(self, tmp_path, step):
+        checkpoint = CLEAN_CHECKPOINT.replace(
+            '"pushed": channel.pushed}',
+            '"pushed": channel.pushed, "emit_time": channel.emit_time}',
+        ).replace(
+            'channel.pushed = float(state["pushed"])',
+            'channel.pushed = float(state["pushed"])\n'
+            '    channel.emit_time = float(state["emit_time"])',
+        )
+        channel = CLEAN_CHANNEL.replace(
+            "self.pushed = 0.0",
+            "self.pushed = 0.0\n        self.emit_time = 0.0",
+        ) + ("\n    def advance(self, dt):\n        self.emit_time += %s\n" % step)
+        return make_pkg(
+            tmp_path, checkpoint=checkpoint, files={"spe/streams.py": channel}
+        )
+
+    def test_float_accumulation_into_cursor_fires_ks223(self, tmp_path):
+        report = check_paths([self._pkg(tmp_path, "dt")])
+        ks223 = [d for d in report.diagnostics if d.code == "KS223"]
+        assert len(ks223) == 1
+        assert "'emit_time'" in ks223[0].message
+
+    def test_integer_step_is_clean(self, tmp_path):
+        report = check_paths([self._pkg(tmp_path, "1")])
+        assert "KS223" not in codes(report)
+
+
+# -- KW3xx: worker purity (synthetic) ----------------------------------------
+
+
+class TestWorkerPurity:
+    def test_worker_reading_mutated_global_fires_kw301(self, tmp_path):
+        runner = """
+            import multiprocessing
+
+            _CACHE = {}
+
+            def _seed(key):
+                _CACHE[key] = 1
+
+            def _worker(cfg):
+                return _CACHE.get(cfg)
+
+            def run_all(cfgs):
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(2) as pool:
+                    return pool.map(_worker, cfgs)
+        """
+        root = make_pkg(tmp_path, files={"bench/runner.py": runner})
+        report = check_paths([root])
+        kw301 = [d for d in report.diagnostics if d.code == "KW301"]
+        assert kw301
+        assert "'_CACHE'" in kw301[0].message
+
+    def test_never_mutated_module_dict_is_a_constant(self, tmp_path):
+        runner = """
+            import multiprocessing
+
+            _FACTORIES = {"default": 1}
+
+            def _worker(cfg):
+                return _FACTORIES[cfg]
+
+            def run_all(cfgs):
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(2) as pool:
+                    return pool.map(_worker, cfgs)
+        """
+        root = make_pkg(tmp_path, files={"bench/runner.py": runner})
+        report = check_paths([root])
+        assert "KW301" not in codes(report), report.render_text()
+
+    def test_lambda_dispatch_fires_kw302(self, tmp_path):
+        runner = """
+            import multiprocessing
+
+            def run_all(cfgs):
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(2) as pool:
+                    return pool.map(lambda c: c, cfgs)
+        """
+        root = make_pkg(tmp_path, files={"bench/runner.py": runner})
+        report = check_paths([root])
+        assert "KW302" in codes(report)
+
+    def test_fingerprint_root_is_checked_without_a_pool(self, tmp_path):
+        runner = """
+            _RESULTS = {}
+
+            def _remember(key, value):
+                _RESULTS[key] = value
+
+            def run_experiment(cfg):
+                return _RESULTS.get(cfg)
+        """
+        root = make_pkg(tmp_path, files={"bench/runner.py": runner})
+        report = check_paths([root])
+        assert "KW301" in codes(report)
+
+    def test_transitive_callee_is_checked(self, tmp_path):
+        runner = """
+            import multiprocessing
+
+            _STATE = []
+
+            def _grow(x):
+                _STATE.append(x)
+
+            def _helper(cfg):
+                return len(_STATE) + cfg
+
+            def _worker(cfg):
+                return _helper(cfg)
+
+            def run_all(cfgs):
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(2) as pool:
+                    return pool.map(_worker, cfgs)
+        """
+        root = make_pkg(tmp_path, files={"bench/runner.py": runner})
+        report = check_paths([root])
+        kw301 = [d for d in report.diagnostics if d.code == "KW301"]
+        assert any("_helper()" in d.message for d in kw301)
+
+    def test_local_shadowing_is_clean(self, tmp_path):
+        runner = """
+            import multiprocessing
+
+            _CACHE = {}
+
+            def _seed(key):
+                _CACHE[key] = 1
+
+            def _worker(cfg):
+                _CACHE = {}
+                return _CACHE.get(cfg)
+
+            def run_all(cfgs):
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(2) as pool:
+                    return pool.map(_worker, cfgs)
+        """
+        root = make_pkg(tmp_path, files={"bench/runner.py": runner})
+        report = check_paths([root])
+        assert "KW301" not in codes(report)
+
+
+# -- fingerprint lifecycle (synthetic) ---------------------------------------
+
+
+class TestFingerprintFlow:
+    def test_missing_fingerprint_fires_ks211(self, tmp_path):
+        root = make_pkg(tmp_path, files={"spe/streams.py": CLEAN_CHANNEL})
+        report = check_paths([root])
+        assert codes(report) == ["KS211"]
+        assert "--update-fingerprint" in messages(report)
+
+    def test_update_writes_a_stable_canonical_file(self, tmp_path):
+        root = make_pkg(tmp_path, files={"spe/streams.py": CLEAN_CHANNEL})
+        check_paths([root], update_fingerprint=True)
+        path = root / FINGERPRINT_REL
+        first = path.read_text()
+        payload = json.loads(first)
+        assert payload["schema_version"] == 1
+        assert payload["contract"]["channel"] == ["pending", "pushed"]
+        # regeneration is idempotent (sorted keys, fixed layout)
+        check_paths([root], update_fingerprint=True)
+        assert path.read_text() == first
+
+
+# -- driver, exit codes, and CLI wiring --------------------------------------
+
+
+class TestDriver:
+    def test_missing_contract_source_is_a_usage_error(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        report, code = run_statecheck([str(tmp_path / "empty")])
+        assert code == 2
+        assert codes(report) == ["KS200"]
+
+    def test_exit_codes_clean_and_findings(self, tmp_path, capsys):
+        root = make_pkg(tmp_path, files={"spe/streams.py": CLEAN_CHANNEL})
+        _, code = run_statecheck([str(root)], update_fingerprint=True)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state contract clean" in out
+        # introduce a finding: uncaptured attribute
+        (root / "spe" / "streams.py").write_text(
+            CLEAN_CHANNEL + "\n    def mark(self):\n        self.dirty = 1\n"
+        )
+        _, code = run_statecheck([str(root)])
+        assert code == 1
+
+    def test_json_output_carries_categories_and_suppressions(self, tmp_path, capsys):
+        channel = CLEAN_CHANNEL + (
+            "\n    def mark(self):\n"
+            "        self.dirty = True  # klink: transient[memo flag]\n"
+        )
+        root = make_pkg(tmp_path, files={"spe/streams.py": channel})
+        check_paths([root], update_fingerprint=True)
+        capsys.readouterr()
+        _, code = run_statecheck([str(root)], output_format="json")
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["suppressed"] == {"KS201": 1}
+        assert payload["suppressed_total"] == 1
+
+    def test_rules_listing(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_code in STATE_RULES:
+            assert rule_code in out
+
+    def test_module_main_on_shipped_tree(self, capsys):
+        assert main([str(SRC)]) == 0
+        assert "state contract clean" in capsys.readouterr().out
+
+    def test_state_rules_registry(self):
+        assert set(STATE_RULES) == {
+            "KS200", "KS201", "KS202", "KS210", "KS211",
+            "KS221", "KS222", "KS223", "KW301", "KW302",
+        }
+
+    def test_diagnostic_categories(self):
+        from repro.analysis.report import rule_category
+
+        assert rule_category("KS201") == "state"
+        assert rule_category("KW301") == "worker-purity"
+        assert rule_category("KL001") == "determinism"
+        assert rule_category("KP101") == "plan"
+        assert rule_category("X999") == "other"
+
+
+class TestCLIIntegration:
+    def test_repro_lint_state_flag_on_shipped_tree(self, capsys):
+        from repro.analysis.lint import main as lint_main
+
+        assert lint_main([str(SRC), "--state"]) == 0
+        assert "(lint + state contract)" in capsys.readouterr().out
+
+    def test_repro_bench_statecheck_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["statecheck", str(SRC)]) == 0
+        assert "state contract clean" in capsys.readouterr().out
+
+
+# -- pragma parsing ----------------------------------------------------------
+
+
+class TestPragmas:
+    def test_transient_pragma_parsing(self):
+        pragmas = parse_pragmas(
+            "x = 1\n"
+            "self.memo = {}  # klink: transient[derived cache]\n"
+            "y = 2  # klink: allow[KS221, KW301]\n"
+        )
+        assert pragmas.is_transient(2)
+        assert pragmas.transient_reason(2) == "derived cache"
+        assert not pragmas.is_transient(1)
+        assert pragmas.allows(3, "KS221")
+        assert pragmas.allows(3, "KW301")
+        assert not pragmas.allows(3, "KS201")
+        assert not pragmas.allows(2, "KS221")
