@@ -136,6 +136,10 @@ class ExperimentConfig:
     # recovery strategy for node failures (None keeps legacy semantics)
     checkpoint_period_ms: Optional[float] = None
     recover: Optional[str] = None  # "restart" | "standby" | "none"
+    # rows coalesced per channel queue entry (1 = per-event reference
+    # path); execution is byte-identical for every value, so this is a
+    # pure wall-clock knob and safe to default on
+    batch_size: int = 64
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -293,6 +297,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         checkpoints=checkpoints,
         recovery=recovery,
         validate=config.validate,
+        batch_size=config.batch_size,
     )
     metrics = engine.run(config.duration_ms)
     chains = profiler.chain_profiles(queries) if profiler is not None else []

@@ -185,6 +185,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "--checkpoint-period 5000 unless one is given",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="rows coalesced per channel queue entry (default 64); "
+             "1 selects the per-event reference path. Execution is "
+             "byte-identical for every value — summaries and traces "
+             "match batch-size 1 exactly — so this only trades memory "
+             "for simulation wall-clock",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result-cache directory (default: "
              "$REPRO_BENCH_CACHE or .bench_cache)",
@@ -243,6 +251,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         checkpoint_period_ms=args.checkpoint_period,
         recover=args.recover,
+        batch_size=args.batch_size,
         **_telemetry_fields(args),
     )
     if args.bench_json:
@@ -281,6 +290,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         validate=not args.no_validate,
         checkpoint_period_ms=args.checkpoint_period,
         recover=args.recover,
+        batch_size=args.batch_size,
         **_telemetry_fields(args),
     )
     _configure_cli_cache(args)

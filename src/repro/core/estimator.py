@@ -22,7 +22,6 @@ the mean (lines 4-6 use two standard deviations for f = 95).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.spe.query import SourceBinding, StreamProgress
@@ -52,16 +51,54 @@ def z_for_confidence(confidence: float) -> float:
     return float(norm.ppf(0.5 + confidence / 200.0))
 
 
-@dataclass
 class SwmEstimate:
-    """Distribution of the next SWM's ingestion time (engine clock ms)."""
+    """Distribution of the next SWM's ingestion time (engine clock ms).
 
-    mean: float
-    std: float
-    t_min: float
-    t_max: float
-    deadline: float           # the window deadline this SWM sweeps
-    swm_generation: float     # deterministic base (generation time)
+    A ``__slots__`` value class (the scheduler builds one per stream per
+    cycle): ``mean``/``std`` parameterize the normal distribution,
+    ``[t_min, t_max]`` is Algorithm 1's confidence interval,
+    ``deadline`` is the window deadline this SWM sweeps and
+    ``swm_generation`` the deterministic base (generation time).
+    """
+
+    __slots__ = ("mean", "std", "t_min", "t_max", "deadline", "swm_generation")
+
+    def __init__(
+        self,
+        mean: float,
+        std: float,
+        t_min: float,
+        t_max: float,
+        deadline: float,
+        swm_generation: float,
+    ) -> None:
+        self.mean = mean
+        self.std = std
+        self.t_min = t_min
+        self.t_max = t_max
+        self.deadline = deadline
+        self.swm_generation = swm_generation
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SwmEstimate):
+            return NotImplemented
+        return (
+            self.mean == other.mean
+            and self.std == other.std
+            and self.t_min == other.t_min
+            and self.t_max == other.t_max
+            and self.deadline == other.deadline
+            and self.swm_generation == other.swm_generation
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"SwmEstimate(mean={self.mean!r}, std={self.std!r}, "
+            f"t_min={self.t_min!r}, t_max={self.t_max!r}, "
+            f"deadline={self.deadline!r}, swm_generation={self.swm_generation!r})"
+        )
 
     def contains(self, ingestion_time: float) -> bool:
         """True when an observed ingestion falls inside the interval."""
@@ -98,6 +135,17 @@ class SwmIngestionEstimator:
         if not progress.has_observations:
             period = progress.watermark_period_ms
             return period, period * period
+        # Memoized on the progress tracker: planning, slack estimation,
+        # and the audit trail all re-read the moments between ingestions.
+        # The tracker bumps its version on every mutation, so a hit is
+        # exactly what a fresh recomputation would return.
+        memo = progress._moments_memo
+        if (
+            memo is not None
+            and memo[0] == progress._version
+            and memo[1] == self.history
+        ):
+            return memo[2], memo[3]
         mus = progress.mu_history()[-self.history:]
         chis = progress.chi_history()[-self.history:]
         cur_mu, cur_chi = progress.current_epoch_mean()
@@ -105,6 +153,7 @@ class SwmIngestionEstimator:
         chis = chis + [cur_chi]
         mu = sum(mus) / len(mus)
         chi = sum(chis) / len(chis)
+        progress._moments_memo = (progress._version, self.history, mu, chi)
         return mu, chi
 
     def delay_std(self, progress: StreamProgress) -> float:
@@ -154,8 +203,11 @@ class SwmIngestionEstimator:
         generation = self.swm_generation_time(
             ddl, spec.watermark_period_ms, spec.lateness_ms, phase
         )
-        mu, _ = self.delay_moments(progress)
-        std = self.delay_std(progress)
+        # Compute both moments once; the std expression below is the
+        # same arithmetic as delay_std (Eq. 6's reduced form).
+        mu, chi = self.delay_moments(progress)
+        var = max(chi - mu * mu, 0.0)
+        std = max(math.sqrt(var), _MIN_STD_MS)
         mean = generation + mu
         return SwmEstimate(
             mean=mean,

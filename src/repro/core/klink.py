@@ -89,10 +89,10 @@ class KlinkScheduler(Scheduler):
           Algorithm 1 applies: schedule the query early enough that its
           queues are drained by the time the SWM arrives (observation (ii)).
         """
-        cost = query.pending_cost_ms()
         urgent = self._pending_swm_slack(query, ctx.now)
         if urgent is not None:
             return urgent, 0
+        cost = query.pending_cost_ms()
         slacks: List[float] = []
         steps = 0
         for binding in query.bindings:
@@ -130,9 +130,12 @@ class KlinkScheduler(Scheduler):
         ingested_wm = min(p.last_watermark_ts for p in progresses)
         swept_deadline = math.inf
         for op in query.windowed_operators():
-            deadlines = op.pending_pane_deadlines()
-            if deadlines and deadlines[0] <= ingested_wm:
-                swept_deadline = min(swept_deadline, deadlines[0])
+            # The pane heap's head is the earliest pending deadline (due
+            # panes pop as soon as the event clock advances), so the full
+            # sorted listing is not needed here.
+            heap = op._pane_heap
+            if heap and heap[0][0] <= ingested_wm:
+                swept_deadline = min(swept_deadline, heap[0][0])
         if math.isinf(swept_deadline):
             return None
         return swept_deadline - now

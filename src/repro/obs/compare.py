@@ -11,9 +11,14 @@ judged with.
 
 Comparison semantics: *higher is worse* for latency, deadline misses,
 alerts, and per-operator CPU; *lower is worse* for throughput. A metric
-absent (or ``null``, e.g. NaN percentile of an empty latency set) on
-either side is reported but never counts as a regression — a run that
-produced no latencies at all fails earlier, at snapshot time.
+that is absent, ``null``, or NaN (the value an empty input produces,
+e.g. the mean latency of a run that completed no windows) on either
+side diffs as **missing**: the delta is emitted with ``limit ==
+"missing"`` and surfaced in :attr:`ComparisonResult.missing` and the
+rendered table, so it can never silently pass as "no change" — but it
+also never counts as a regression, because there is no number to
+regress against (NaN compares false with everything; treating it as a
+value would make the verdict an artifact of comparison order).
 """
 
 from __future__ import annotations
@@ -309,6 +314,11 @@ class ComparisonResult:
         return [d for d in self.deltas if d.regressed]
 
     @property
+    def missing(self) -> List[Delta]:
+        """Metrics that could not be compared (absent/null/NaN on a side)."""
+        return [d for d in self.deltas if d.limit == "missing"]
+
+    @property
     def ok(self) -> bool:
         return not self.regressions and not self.identity_mismatches
 
@@ -317,6 +327,7 @@ class ComparisonResult:
             "ok": self.ok,
             "identity_mismatches": list(self.identity_mismatches),
             "regressions": [d.to_dict() for d in self.regressions],
+            "missing": [d.metric for d in self.missing],
             "deltas": [d.to_dict() for d in self.deltas],
         }
 
@@ -373,7 +384,10 @@ def compare_snapshots(
     ) -> None:
         base_n, cur_n = _as_number(base_v), _as_number(cur_v)
         if base_n is None or cur_n is None:
-            deltas.append(Delta(metric, base_n, cur_n, None, "skipped", False))
+            # Absent, null, or NaN on either side (NaN-vs-NaN included):
+            # the cell diffs as "missing" — visible in the report, never
+            # a regression and never a silent "no change".
+            deltas.append(Delta(metric, base_n, cur_n, None, "missing", False))
             return
         change = _pct_change(base_n, cur_n)
         regressed = False
@@ -447,6 +461,8 @@ def render_comparison(result: ComparisonResult) -> str:
     """Human-readable diff table."""
     lines: List[str] = []
     verdict = "OK" if result.ok else "REGRESSION"
+    if result.ok and result.missing:
+        verdict = f"OK ({len(result.missing)} metric(s) missing)"
     lines.append(f"=== compare: {verdict} ===")
     for mismatch in result.identity_mismatches:
         lines.append(f"  !! identity mismatch: {mismatch}")
@@ -465,6 +481,8 @@ def render_comparison(result: ComparisonResult) -> str:
             else "new"
         )
         mark = " <-- REGRESSED" if delta.regressed else ""
+        if delta.limit == "missing":
+            mark = " (missing)"
         lines.append(
             f"  {delta.metric:34s} {fmt(delta.baseline):>14s} "
             f"{fmt(delta.current):>14s} {change:>9s}  {delta.limit}{mark}"

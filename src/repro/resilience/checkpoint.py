@@ -37,7 +37,7 @@ import math
 from collections import deque
 from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional
 
-from repro.spe.events import EventBatch, LatencyMarker, Watermark
+from repro.spe.events import EventBatch, LatencyMarker, RecordBatch, Watermark
 from repro.spe.metrics import RunMetrics, UtilizationSample
 from repro.spe.operators import (
     CountWindowedAggregate,
@@ -59,7 +59,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.spe.engine import Engine
 
 #: checkpoint schema version; bumped on any incompatible layout change
-SCHEMA_VERSION = 1
+#: (v2: channels may hold in-flight columnar RecordBatch runs, tag "rb")
+SCHEMA_VERSION = 2
 
 #: RunMetrics scalar fields captured verbatim (the resilience counters —
 #: checkpoints taken, recoveries, lost events — are deliberately absent:
@@ -131,6 +132,19 @@ def _encode_record(record: object) -> Dict[str, Any]:
         }
     if isinstance(record, LatencyMarker):
         return {"t": "m", "at": record.created_at, "id": record.marker_id}
+    if isinstance(record, RecordBatch):
+        # Unconsumed rows only (the consumed prefix before ``head`` is
+        # dead state); restore rebases head to 0 with identical columns.
+        h = record.head
+        return {
+            "t": "rb",
+            "counts": record.counts[h:],
+            "t_starts": record.t_starts[h:],
+            "t_ends": record.t_ends[h:],
+            "delays": record.delays[h:],
+            "enq": record.enqueued_ats[h:],
+            "bpe": record.bytes_per_event,
+        }
     raise CheckpointError(f"unknown record type: {type(record)!r}")
 
 
@@ -148,6 +162,14 @@ def _decode_record(state: Dict[str, Any]) -> object:
         return Watermark(state["ts"], source_id=state["src"], is_swm=state["swm"])
     if kind == "m":
         return LatencyMarker(created_at=state["at"], marker_id=state["id"])
+    if kind == "rb":
+        rb = RecordBatch(state["bpe"])
+        rb.counts = [float(v) for v in state["counts"]]
+        rb.t_starts = [float(v) for v in state["t_starts"]]
+        rb.t_ends = [float(v) for v in state["t_ends"]]
+        rb.delays = [float(v) for v in state["delays"]]
+        rb.enqueued_ats = [float(v) for v in state["enq"]]
+        return rb
     raise CheckpointError(f"unknown record tag: {kind!r}")
 
 
@@ -299,6 +321,9 @@ def _restore_operator(op: Operator, state: Dict[str, Any]) -> None:
         op._pane_heap = [(float(e), float(s)) for e, s in window["pane_heap"]]
         op._input_watermarks = [float(w) for w in window["input_watermarks"]]
         op._event_clock = float(window["event_clock"])
+        # The pane table was rebuilt: drop the state-sum memo so the next
+        # read recomputes over the restored (canonically ordered) dict.
+        op._invalidate_state_memo()
     if isinstance(op, CountWindowedAggregate):
         count_window = state["count_window"]
         op._accumulated = float(count_window["accumulated"])
@@ -393,6 +418,10 @@ def _restore_binding(binding: SourceBinding, state: Dict[str, Any]) -> None:
         progress.last_watermark_ts = float(progress_state["last_watermark_ts"])
         progress.last_swm_ingest_time = progress_state["last_swm_ingest_time"]
         progress.next_deadline = progress_state["next_deadline"]
+        # The restore mutated the tracker in place: drop the estimator's
+        # delay-moments memo so the next read recomputes from the
+        # restored history.
+        progress._invalidate_moments_memo()
 
 
 # -- metrics ----------------------------------------------------------------

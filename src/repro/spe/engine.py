@@ -67,6 +67,7 @@ class Engine:
         checkpoints=None,
         recovery=None,
         validate: bool = True,
+        batch_size: int = 1,
     ) -> None:
         if cores < 1:
             raise ValueError(f"need at least one core: {cores}")
@@ -74,7 +75,24 @@ class Engine:
             raise ValueError(f"cycle must be positive: {cycle_ms}")
         if not queries:
             raise ValueError("engine needs at least one query")
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1: {batch_size}")
         self.queries = list(queries)
+        #: rows coalesced per channel queue entry (1 = per-event mode).
+        #: All payload channels carry columnar RecordBatch runs instead of
+        #: individual EventBatch entries. Single-input operators drain a
+        #: run's rows within one budget-loop turn; multi-input (join)
+        #: operators consume exactly one row per round-robin turn, which
+        #: replicates the per-event entry granularity their budget split
+        #: depends on. Execution is byte-identical for every batch size
+        #: (the batch_size=1-vs-N equality gate in tests and CI enforces
+        #: it).
+        self.batch_size = int(batch_size)
+        if self.batch_size > 1:
+            for query in self.queries:
+                for op in query.operators:
+                    for channel in op.inputs:
+                        channel.batch_size = self.batch_size
         if validate:
             # Fail fast on misconfigured plans (cycles, keyless keyed
             # windows, watermark-less event-time windows, ...) before a
@@ -112,6 +130,14 @@ class Engine:
         self._swm_drained: Dict[str, int] = {q.query_id: 0 for q in self.queries}
         self._marker_drained: Dict[str, int] = {q.query_id: 0 for q in self.queries}
         self._events_in_prev = 0.0
+        # Flat view of every operator's stats block in (query, operator)
+        # order: the utilization sampler sums events_in once per cycle, and
+        # both the query set and each query's operator list are fixed for
+        # the engine's lifetime (stats blocks are mutated in place, never
+        # replaced — checkpoint restore included).
+        self._all_op_stats = [
+            op.stats for q in self.queries for op in q.operators
+        ]
         self._register()
 
     # -- Sec. 5 framework: register -------------------------------------------
@@ -151,16 +177,28 @@ class Engine:
             binding.next_marker_time = start + spec.marker_period_ms
         faults = self.faults
         qid = query.query_id
+        metrics = self.metrics
+        push = self._push_network
+        sample = spec.delay_model.sample
+        # The cursors' drift-free arithmetic (``origin + step * period``,
+        # see PeriodicCursor.value) is inlined below with origin/period
+        # hoisted: this loop runs for every binding every cycle and the
+        # property indirection dominates its cost.
+        gen_batch_ms = spec.gen_batch_ms
+        bytes_per_event = spec.bytes_per_event
+        cursor = binding._gen_cursor
+        g_origin, g_period = cursor.origin, cursor.period
         # Event batches: one per generation interval, rate-modulated by the
         # source's burst state machine (load spikes, Sec. 1).
-        while binding.next_gen_time + spec.gen_batch_ms <= horizon:
-            g0 = binding.next_gen_time
-            g1 = binding.advance_gen()  # drift-free g0 + gen_batch_ms
-            count = self._current_rate(binding, g0) * spec.gen_batch_ms / 1000.0
+        g0 = g_origin + cursor.step * g_period
+        while g0 + gen_batch_ms <= horizon:
+            cursor.step += 1
+            g1 = g_origin + cursor.step * g_period  # drift-free g0 + gen_batch_ms
+            count = self._current_rate(binding, g0) * gen_batch_ms / 1000.0
             if shed_events:
-                self.metrics.events_shed += count
+                metrics.events_shed += count
             elif count > 0:
-                delay = spec.delay_model.sample()
+                delay = sample()
                 if faults is not None:
                     # A stalled source holds the batch until the stall ends;
                     # the extra time counts as experienced network delay, so
@@ -172,33 +210,45 @@ class Engine:
                     t_start=g0,
                     t_end=g1,
                     delay=delay,
-                    bytes_per_event=spec.bytes_per_event,
+                    bytes_per_event=bytes_per_event,
                 )
-                self._push_network(g1 + delay, query, binding, batch)
+                push(g1 + delay, query, binding, batch)
+            g0 = g1
         # Watermarks: periodic, timestamp lags generation by the lateness
         # allowance (Sec. 2.2's "current time minus five seconds" pattern).
         # Suppressed for sources whose pipeline generates watermarks with
         # a WatermarkGeneratorOperator instead (Sec. 2.2 case ii).
-        while spec.emit_watermarks and binding.next_watermark_time <= horizon:
-            g = binding.next_watermark_time
-            binding.advance_watermark()
-            if faults is not None and faults.drops_watermark(qid, g):
-                self.metrics.watermarks_dropped_by_faults += 1
-                continue
-            wm = Watermark(g - spec.lateness_ms, source_id=binding.source_id)
-            delay = spec.delay_model.sample()
-            if faults is not None:
-                delay += faults.watermark_extra_delay(qid, g)
-                delay = max(delay, faults.source_hold_until(qid, g) - g)
-            self._push_network(g + delay, query, binding, wm)
+        if spec.emit_watermarks:
+            cursor = binding._watermark_cursor
+            w_origin, w_period = cursor.origin, cursor.period
+            lateness = spec.lateness_ms
+            source_id = binding.source_id
+            while True:
+                g = w_origin + cursor.step * w_period
+                if g > horizon:
+                    break
+                cursor.step += 1
+                if faults is not None and faults.drops_watermark(qid, g):
+                    metrics.watermarks_dropped_by_faults += 1
+                    continue
+                wm = Watermark(g - lateness, source_id=source_id)
+                delay = sample()
+                if faults is not None:
+                    delay += faults.watermark_extra_delay(qid, g)
+                    delay = max(delay, faults.source_hold_until(qid, g) - g)
+                push(g + delay, query, binding, wm)
         # Latency markers: 200 ms period per source (Sec. 6.1.2).
-        while binding.next_marker_time <= horizon:
-            g = binding.next_marker_time
-            delay = spec.delay_model.sample()
+        cursor = binding._marker_cursor
+        m_origin, m_period = cursor.origin, cursor.period
+        while True:
+            g = m_origin + cursor.step * m_period
+            if g > horizon:
+                break
+            delay = sample()
             if faults is not None:
                 delay = max(delay, faults.source_hold_until(qid, g) - g)
-            self._push_network(g + delay, query, binding, LatencyMarker(created_at=g))
-            binding.advance_marker()
+            push(g + delay, query, binding, LatencyMarker(created_at=g))
+            cursor.step += 1
 
     def _current_rate(self, binding: SourceBinding, at: float) -> float:
         """Source rate at generation time ``at``, per the burst state."""
@@ -239,31 +289,38 @@ class Engine:
         """
         deferred = []
         stalled: Dict[str, bool] = {}
-        while self._network and self._network[0][0] <= now:
-            _, _, query, binding, record = heapq.heappop(self._network)
+        network = self._network
+        heappop = heapq.heappop
+        query_stalled = self.memory.query_stalled
+        metrics = self.metrics
+        while network and network[0][0] <= now:
+            _, _, query, binding, record = heappop(network)
             qid = query.query_id
             if blocked is not None and blocked(query):
                 deferred.append((query, binding, record))
                 continue
             if qid not in stalled:
-                stalled[qid] = self.memory.query_stalled(query)
+                stalled[qid] = query_stalled(query)
             if stalled[qid]:
                 # Credit-based flow control: the whole channel stalls —
                 # events, watermarks, and markers keep their order and age
                 # in the source buffer until credit frees up.
                 deferred.append((query, binding, record))
                 continue
-            if backpressured and isinstance(record, EventBatch):
+            # Exact-type checks: network records are exactly EventBatch,
+            # Watermark, or LatencyMarker (no subclasses in the codebase).
+            is_payload = type(record) is EventBatch
+            if backpressured and is_payload:
                 deferred.append((query, binding, record))
                 continue
             progress = binding.progress
-            if isinstance(record, EventBatch):
+            if is_payload:
                 binding.channel.push(record, now)
                 binding.events_ingested += record.count
                 if progress is not None:
                     progress.observe_delay(record.delay, record.count)
-                self.metrics.total_events_ingested += record.count
-            elif isinstance(record, Watermark):
+                metrics.total_events_ingested += record.count
+            elif type(record) is Watermark:
                 if progress is not None and record.timestamp <= progress.last_watermark_ts:
                     continue  # late watermark: dropped by the SPE (Sec. 2.2)
                 if progress is not None:
@@ -272,8 +329,11 @@ class Engine:
                 binding.watermarks_ingested += 1
             else:  # LatencyMarker
                 binding.channel.push(record, now)
-        for query, binding, record in deferred:
-            self._push_network(now + self.cycle_ms, query, binding, record)
+        if deferred:
+            push = self._push_network
+            retry_at = now + self.cycle_ms
+            for query, binding, record in deferred:
+                push(retry_at, query, binding, record)
 
     # -- Sec. 5 framework: collect ------------------------------------------------
 
@@ -345,24 +405,25 @@ class Engine:
         """
         used_total = 0.0
         used_per_op: Dict[int, float] = {}
+        used_get = used_per_op.get
         now = self.clock.now
+        cap_cutoff = cap_per_op - 1e-9
         for _ in range(3):
             ops = [
                 op
                 for op in operators
-                if op.has_work()
-                and used_per_op.get(id(op), 0.0) < cap_per_op - 1e-9
+                if op.has_work() and used_get(id(op), 0.0) < cap_cutoff
             ]
             if not ops or budget_ms - used_total <= 1e-9:
                 break
             share = (budget_ms - used_total) / len(ops)
             for op in ops:
-                headroom = cap_per_op - used_per_op.get(id(op), 0.0)
-                grant = min(share, headroom, budget_ms - used_total)
+                prior = used_get(id(op), 0.0)
+                grant = min(share, cap_per_op - prior, budget_ms - used_total)
                 if grant <= 1e-9:
                     continue
                 used = op.step(grant, now)
-                used_per_op[id(op)] = used_per_op.get(id(op), 0.0) + used
+                used_per_op[id(op)] = prior + used
                 used_total += used
         return used_total
 
@@ -406,9 +467,7 @@ class Engine:
                 self.metrics.marker_latencies.extend(lat for _, lat in fresh_m)
 
     def _sample_utilization(self, cpu_used_ms: float) -> None:
-        events_in = sum(
-            op.stats.events_in for q in self.queries for op in q.operators
-        )
+        events_in = sum(s.events_in for s in self._all_op_stats)
         delta = events_in - self._events_in_prev
         self._events_in_prev = events_in
         self.metrics.total_events_processed += delta

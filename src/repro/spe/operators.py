@@ -29,8 +29,8 @@ import heapq
 import math
 from typing import Dict, List, Optional, Tuple
 
-from repro.spe.events import EventBatch, LatencyMarker, Watermark
-from repro.spe.streams import Channel
+from repro.spe.events import EventBatch, LatencyMarker, RecordBatch, Watermark
+from repro.spe.streams import _COMPACT_THRESHOLD, Channel, _Entry
 from repro.spe.windows import Pane, WindowAssigner
 
 # Budget below which a step loop stops rather than splitting ever-smaller
@@ -106,6 +106,8 @@ class Operator:
         self.inputs: List[Channel] = [
             Channel(f"{name}.in{i}", owner=self) for i in range(n_inputs)
         ]
+        for i, channel in enumerate(self.inputs):
+            channel._consumer_index = i
         self.output: Optional[Channel] = None  # wired by Query
         self.stats = OperatorStats()
         # Memoized queue aggregates: schedulers, the memory policy, the
@@ -117,6 +119,12 @@ class Operator:
         self._queues_dirty = True
         self._queued_events_memo = 0.0
         self._queued_bytes_memo = 0.0
+        # True when this class's _on_row is exactly the stateless fast-path
+        # handler: _consume_rows may then fuse row handling and emission
+        # into its drain loop (same expressions, no per-row calls).
+        self._stateless_row = (  # klink: transient[build-time classification derived from the class]
+            type(self)._on_row is _StatelessRowFastPath._on_row
+        )
 
     # -- wiring --------------------------------------------------------------
 
@@ -156,7 +164,10 @@ class Operator:
 
     def has_work(self) -> bool:
         """True when any input channel holds a record."""
-        return any(len(ch) > 0 for ch in self.inputs)
+        for ch in self.inputs:
+            if ch._entries:
+                return True
+        return False
 
     def next_deadline(self, after: float) -> float:
         """Earliest window deadline after event-time ``after`` (inf if none)."""
@@ -173,26 +184,421 @@ class Operator:
         oversized batch cannot starve the others (a join must keep all its
         watermark fronts moving). Emission order preserves FIFO per input.
         """
+        if len(self.inputs) == 1:
+            # Single-input fast path: the round-robin loop degenerates —
+            # one active channel means share == grant == budget - used,
+            # exactly what the general loop computes (division by 1 is
+            # exact), so this path is float-for-float identical.
+            channel = self.inputs[0]
+            entries = channel._entries
+            used = 0.0
+            while budget_ms - used > _MIN_BUDGET_MS and entries:
+                entry = entries[0]
+                if type(entry.record) is RecordBatch:
+                    used = self._consume_rows(entry, channel, budget_ms, used, now)
+                    continue
+                channel.pop()
+                used += self._dispatch(
+                    entry.record, channel, entry.enqueued_at, budget_ms - used, now
+                )
+            return used
         used = 0.0
         progressed = True
         while budget_ms - used > _MIN_BUDGET_MS and progressed:
             progressed = False
-            active = [ch for ch in self.inputs if len(ch) > 0]
+            active = [ch for ch in self.inputs if ch._entries]
             if not active:
+                break
+            if len(active) == 1:
+                # Only one input holds records: the round-robin loop
+                # degenerates (share == grant == budget - used per record,
+                # division by 1 is exact) into the single-input path, so
+                # whole batches can be drained here byte-identically.
+                # Nothing is pushed to this operator's own inputs during
+                # its step (the topology is acyclic), so the other inputs
+                # stay empty for the rest of the budget.
+                channel = active[0]
+                entries = channel._entries
+                while budget_ms - used > _MIN_BUDGET_MS and entries:
+                    entry = entries[0]
+                    if type(entry.record) is RecordBatch:
+                        used = self._consume_rows(
+                            entry, channel, budget_ms, used, now
+                        )
+                        continue
+                    channel.pop()
+                    used += self._dispatch(
+                        entry.record, channel, entry.enqueued_at,
+                        budget_ms - used, now,
+                    )
                 break
             share = (budget_ms - used) / len(active)
             for channel in active:
                 grant = min(share, budget_ms - used)
                 if grant <= _MIN_BUDGET_MS:
                     break
-                entry = channel.pop()
+                entry = channel.peek()
                 if entry is None:
                     continue
+                if type(entry.record) is RecordBatch:
+                    # Coalesced channel on a multi-input operator: consume
+                    # exactly ONE row this turn — the per-event loop pops
+                    # one record per channel per round, and the row cap
+                    # replicates that granularity (and thus the budget
+                    # split) byte-for-byte.
+                    used += self._consume_row_turn(entry, channel, grant, now)
+                    progressed = True
+                    continue
+                channel.pop()
                 used += self._dispatch(
                     entry.record, channel, entry.enqueued_at, grant, now
                 )
                 progressed = True
         return used
+
+    def _consume_rows(
+        self,
+        entry: object,
+        channel: Channel,
+        budget_ms: float,
+        used: float,
+        now: float,
+    ) -> float:
+        """Drain rows of the head :class:`RecordBatch` within the budget.
+
+        Replays, row by row, the exact arithmetic the per-event path
+        performs — grant recomputation (`budget - used` per row), the
+        full-vs-partial cost split of :meth:`_consume_batch`, and the
+        channel pop / push_front accounting sequence — so every float the
+        scheduler or the invariant monitor can observe is byte-identical
+        to ``batch_size=1`` execution. Only called on single-input
+        operators (multi-input ones use :meth:`_consume_row_turn`).
+        Returns the updated ``used``.
+        """
+        if self._stateless_row:
+            output = self.output
+            if (
+                output is not None
+                and output.batch_size > 1
+                and output.latency_ms == 0.0
+            ):
+                return self._consume_rows_fused(
+                    entry, channel, budget_ms, used, now, output
+                )
+        rb = entry.record
+        counts = rb.counts
+        n = len(counts)
+        bpe = rb.bytes_per_event
+        cpe = self.cost_per_event_ms
+        mult = self.cost_multiplier
+        stats = self.stats
+        input_index = channel._consumer_index
+        on_row = self._on_row
+        # Channel accounting hoisted into locals: the same additions in
+        # the same order, written back after the loop. _on_row never
+        # touches its own input channel's accounting (outputs are a
+        # different channel; the topology is acyclic), so no reader can
+        # observe the intermediate values.
+        q_events = channel._queued_events
+        q_bytes = channel._queued_bytes
+        popped = channel.events_popped
+        ev_in = stats.events_in
+        busy = stats.busy_ms
+        i = rb.head
+        while i < n:
+            grant = budget_ms - used
+            if grant <= _MIN_BUDGET_MS:
+                break
+            count = counts[i]
+            full_cost = count * cpe * mult
+            if full_cost <= grant or cpe == 0.0:
+                # Pop accounting for the whole row, then process it —
+                # the order of Channel.pop followed by _consume_batch.
+                q_events -= count
+                q_bytes -= count * bpe
+                popped += count
+                if q_events < 1e-9:
+                    q_events = 0.0
+                if q_bytes < 1e-6:
+                    q_bytes = 0.0
+                ev_in += count
+                busy += full_cost
+                on_row(rb, i, count, input_index, now)
+                used += full_cost
+                i += 1
+                continue
+            # Budget covers only part of the row: process the affordable
+            # fraction and leave the remainder as the new head row (the
+            # pop + push_front sequence of the per-event path).
+            fraction = grant / full_cost
+            head_count = count * fraction
+            tail_count = count * (1.0 - fraction)
+            q_events -= count
+            q_bytes -= count * bpe
+            popped += count
+            if q_events < 1e-9:
+                q_events = 0.0
+            if q_bytes < 1e-6:
+                q_bytes = 0.0
+            ev_in += head_count
+            busy += grant
+            on_row(rb, i, head_count, input_index, now)
+            used += grant
+            if tail_count > 0:
+                q_events += tail_count
+                q_bytes += tail_count * bpe
+                channel.events_returned += tail_count
+                counts[i] = tail_count
+            else:  # pragma: no cover - zero-mass remainder
+                i += 1
+            break
+        channel._queued_events = q_events
+        channel._queued_bytes = q_bytes
+        channel.events_popped = popped
+        stats.events_in = ev_in
+        stats.busy_ms = busy
+        rb.head = i
+        if i >= n:
+            channel.discard_head()
+        else:
+            # The first unconsumed row's arrival defines head_arrival,
+            # exactly as the per-event queue's next entry would.
+            entry.enqueued_at = rb.enqueued_ats[i]
+        self._queues_dirty = True
+        return used
+
+    def _consume_rows_fused(
+        self,
+        entry: object,
+        channel: Channel,
+        budget_ms: float,
+        used: float,
+        now: float,
+        output: Channel,
+    ) -> float:
+        """:meth:`_consume_rows` with the stateless ``_on_row`` and its
+        :meth:`Channel.push_row` emission fused into the drain loop.
+
+        Same expressions in the same order as the unfused pair — the row
+        handler is known to be ``_StatelessRowFastPath._on_row`` and the
+        output channel is known to coalesce, so the per-row calls collapse
+        into straight-line code. The output tail batch is carried across
+        rows (push_row would re-read ``entries[-1]``, which only this loop
+        appends to) and the output accounting is hoisted into locals and
+        written back once, like the input side. Byte-identical by the
+        same argument as :meth:`_consume_rows`.
+        """
+        rb = entry.record
+        counts = rb.counts
+        t_starts = rb.t_starts
+        t_ends = rb.t_ends
+        delays = rb.delays
+        n = len(counts)
+        bpe = rb.bytes_per_event
+        cpe = self.cost_per_event_ms
+        mult = self.cost_multiplier
+        sel = self.selectivity
+        out_bpe = self.out_bytes_per_event
+        stats = self.stats
+        q_events = channel._queued_events
+        q_bytes = channel._queued_bytes
+        popped = channel.events_popped
+        ev_in = stats.events_in
+        busy = stats.busy_ms
+        ev_out = stats.events_out
+        o_entries = output._entries
+        o_cap = output.batch_size
+        oq_events = output._queued_events
+        oq_bytes = output._queued_bytes
+        o_pushed = output.events_pushed
+        tail = o_entries[-1].record if o_entries else None
+        if type(tail) is not RecordBatch or tail.bytes_per_event != out_bpe:
+            tail = None
+        emitted = False
+        i = rb.head
+        while i < n:
+            grant = budget_ms - used
+            if grant <= _MIN_BUDGET_MS:
+                break
+            count = counts[i]
+            full_cost = count * cpe * mult
+            if full_cost <= grant or cpe == 0.0:
+                q_events -= count
+                q_bytes -= count * bpe
+                popped += count
+                if q_events < 1e-9:
+                    q_events = 0.0
+                if q_bytes < 1e-6:
+                    q_bytes = 0.0
+                ev_in += count
+                busy += full_cost
+                out_count = count * sel
+                if out_count > 0:
+                    ev_out += out_count
+                    if (
+                        tail is not None
+                        and len(tail.counts) - tail.head < o_cap
+                    ):
+                        if tail.head > _COMPACT_THRESHOLD:
+                            h = tail.head
+                            del tail.counts[:h]
+                            del tail.t_starts[:h]
+                            del tail.t_ends[:h]
+                            del tail.delays[:h]
+                            del tail.enqueued_ats[:h]
+                            tail.head = 0
+                        tail.append_row(
+                            out_count, t_starts[i], t_ends[i], delays[i], now
+                        )
+                    else:
+                        tail = RecordBatch(out_bpe)
+                        tail.append_row(
+                            out_count, t_starts[i], t_ends[i], delays[i], now
+                        )
+                        o_entries.append(_Entry(tail, now))
+                    oq_events += out_count
+                    oq_bytes += out_count * out_bpe
+                    o_pushed += out_count
+                    emitted = True
+                used += full_cost
+                i += 1
+                continue
+            fraction = grant / full_cost
+            head_count = count * fraction
+            tail_count = count * (1.0 - fraction)
+            q_events -= count
+            q_bytes -= count * bpe
+            popped += count
+            if q_events < 1e-9:
+                q_events = 0.0
+            if q_bytes < 1e-6:
+                q_bytes = 0.0
+            ev_in += head_count
+            busy += grant
+            out_count = head_count * sel
+            if out_count > 0:
+                ev_out += out_count
+                if tail is not None and len(tail.counts) - tail.head < o_cap:
+                    if tail.head > _COMPACT_THRESHOLD:
+                        h = tail.head
+                        del tail.counts[:h]
+                        del tail.t_starts[:h]
+                        del tail.t_ends[:h]
+                        del tail.delays[:h]
+                        del tail.enqueued_ats[:h]
+                        tail.head = 0
+                    tail.append_row(
+                        out_count, t_starts[i], t_ends[i], delays[i], now
+                    )
+                else:
+                    tail = RecordBatch(out_bpe)
+                    tail.append_row(
+                        out_count, t_starts[i], t_ends[i], delays[i], now
+                    )
+                    o_entries.append(_Entry(tail, now))
+                oq_events += out_count
+                oq_bytes += out_count * out_bpe
+                o_pushed += out_count
+                emitted = True
+            used += grant
+            if tail_count > 0:
+                q_events += tail_count
+                q_bytes += tail_count * bpe
+                channel.events_returned += tail_count
+                counts[i] = tail_count
+            else:  # pragma: no cover - zero-mass remainder
+                i += 1
+            break
+        channel._queued_events = q_events
+        channel._queued_bytes = q_bytes
+        channel.events_popped = popped
+        stats.events_in = ev_in
+        stats.busy_ms = busy
+        stats.events_out = ev_out
+        output._queued_events = oq_events
+        output._queued_bytes = oq_bytes
+        output.events_pushed = o_pushed
+        if emitted and output._owner is not None:
+            output._owner._queues_dirty = True
+        rb.head = i
+        if i >= n:
+            channel.discard_head()
+        else:
+            entry.enqueued_at = rb.enqueued_ats[i]
+        self._queues_dirty = True
+        return used
+
+    def _consume_row_turn(
+        self,
+        entry: object,
+        channel: Channel,
+        grant: float,
+        now: float,
+    ) -> float:
+        """Consume ONE row of the head :class:`RecordBatch` for one
+        round-robin turn of a multi-input operator.
+
+        Same arithmetic as one iteration of :meth:`_consume_rows` with
+        the turn's ``grant`` as the budget — which is exactly what the
+        per-event path's pop + :meth:`_consume_batch` does for a single
+        queued record. Returns the cost charged this turn.
+        """
+        rb = entry.record
+        counts = rb.counts
+        i = rb.head
+        count = counts[i]
+        cpe = self.cost_per_event_ms
+        full_cost = count * cpe * self.cost_multiplier
+        bpe = rb.bytes_per_event
+        stats = self.stats
+        if full_cost <= grant or cpe == 0.0:
+            channel._queued_events -= count
+            channel._queued_bytes -= count * bpe
+            channel.events_popped += count
+            if channel._queued_events < 1e-9:
+                channel._queued_events = 0.0
+            if channel._queued_bytes < 1e-6:
+                channel._queued_bytes = 0.0
+            stats.events_in += count
+            stats.busy_ms += full_cost
+            self._on_row(rb, i, count, channel._consumer_index, now)
+            i += 1
+            rb.head = i
+            if i >= len(counts):
+                channel.discard_head()
+            else:
+                entry.enqueued_at = rb.enqueued_ats[i]
+            self._queues_dirty = True
+            return full_cost
+        # Partial row: process the affordable fraction; the remainder
+        # stays as the head row (per-event pop + push_front sequence).
+        fraction = grant / full_cost
+        head_count = count * fraction
+        tail_count = count * (1.0 - fraction)
+        channel._queued_events -= count
+        channel._queued_bytes -= count * bpe
+        channel.events_popped += count
+        if channel._queued_events < 1e-9:
+            channel._queued_events = 0.0
+        if channel._queued_bytes < 1e-6:
+            channel._queued_bytes = 0.0
+        stats.events_in += head_count
+        stats.busy_ms += grant
+        self._on_row(rb, i, head_count, channel._consumer_index, now)
+        if tail_count > 0:
+            channel._queued_events += tail_count
+            channel._queued_bytes += tail_count * bpe
+            channel.events_returned += tail_count
+            counts[i] = tail_count
+        else:  # pragma: no cover - zero-mass remainder
+            i += 1
+            rb.head = i
+            if i >= len(counts):
+                channel.discard_head()
+            else:
+                entry.enqueued_at = rb.enqueued_ats[i]
+        self._queues_dirty = True
+        return grant
 
     def _dispatch(
         self,
@@ -202,12 +608,14 @@ class Operator:
         budget_ms: float,
         now: float,
     ) -> float:
-        if isinstance(record, EventBatch):
+        # Exact-type checks: queue records are exactly EventBatch,
+        # RecordBatch (handled by the callers), Watermark, or LatencyMarker.
+        if type(record) is EventBatch:
             return self._consume_batch(record, channel, enqueued_at, budget_ms, now)
-        if isinstance(record, Watermark):
+        if type(record) is Watermark:
             self.stats.watermarks_seen += 1
             cost = min(self.cost_per_event_ms * self.cost_multiplier, budget_ms)
-            self._on_watermark(record, self.inputs.index(channel), now)
+            self._on_watermark(record, channel._consumer_index, now)
             self.stats.busy_ms += cost
             return cost
         if isinstance(record, LatencyMarker):
@@ -229,7 +637,7 @@ class Operator:
         if full_cost <= budget_ms or self.cost_per_event_ms == 0.0:
             self.stats.events_in += batch.count
             self.stats.busy_ms += full_cost
-            self._on_batch(batch, self.inputs.index(channel), now)
+            self._on_batch(batch, channel._consumer_index, now)
             return full_cost
         # Budget covers only part of the batch: process the affordable
         # fraction, return the remainder to the head of the queue.
@@ -238,7 +646,7 @@ class Operator:
         tail = batch.split_fraction(1.0 - fraction) if fraction < 1.0 else None
         self.stats.events_in += head.count
         self.stats.busy_ms += budget_ms
-        self._on_batch(head, self.inputs.index(channel), now)
+        self._on_batch(head, channel._consumer_index, now)
         if tail is not None and tail.count > 0:
             channel.push_front(tail, enqueued_at)
         return budget_ms
@@ -259,20 +667,96 @@ class Operator:
                 now,
             )
 
+    def _on_row(
+        self,
+        rb: RecordBatch,
+        index: int,
+        count: float,
+        input_index: int,
+        now: float,
+    ) -> None:
+        """Handle one row of a coalesced batch carrying ``count`` events.
+
+        The base implementation materializes the row as an
+        :class:`EventBatch` and defers to :meth:`_on_batch`, so any
+        subclass that only overrides ``_on_batch`` (reorder buffers,
+        watermark generators, user operators) stays correct under
+        batching. Performance-critical leaf operators override this with
+        an allocation-free equivalent.
+        """
+        self._on_batch(
+            EventBatch(
+                count=count,
+                t_start=rb.t_starts[index],
+                t_end=rb.t_ends[index],
+                delay=rb.delays[index],
+                bytes_per_event=rb.bytes_per_event,
+            ),
+            input_index,
+            now,
+        )
+
     def _on_watermark(self, wm: Watermark, input_index: int, now: float) -> None:
         self._emit(wm, now)
 
     def _emit(self, record: object, now: float) -> None:
-        if isinstance(record, EventBatch):
+        output = self.output
+        if type(record) is EventBatch:
             self.stats.events_out += record.count
-        if self.output is not None:
-            self.output.push(record, now)
+            if output is not None:
+                if output.batch_size > 1 and output.latency_ms == 0.0:
+                    # Coalescing channel: append the columns directly —
+                    # the same accounting Channel.push would route to.
+                    output.push_row(
+                        record.count,
+                        record.t_start,
+                        record.t_end,
+                        record.delay,
+                        record.bytes_per_event,
+                        now,
+                    )
+                else:
+                    output.push(record, now)
+        elif output is not None:
+            output.push(record, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name!r})"
 
 
-class MapOperator(Operator):
+class _StatelessRowFastPath:
+    """Allocation-free ``_on_row`` for operators using the base ``_on_batch``.
+
+    Mirrors ``Operator._on_batch`` + ``_emit`` exactly (same expressions,
+    same order) but emits through :meth:`Channel.push_row` instead of
+    constructing an intermediate :class:`EventBatch`. Only safe for
+    classes that do NOT override ``_on_batch``.
+    """
+
+    def _on_row(
+        self,
+        rb: RecordBatch,
+        index: int,
+        count: float,
+        input_index: int,
+        now: float,
+    ) -> None:
+        out_count = count * self.selectivity  # type: ignore[attr-defined]
+        if out_count > 0:
+            self.stats.events_out += out_count  # type: ignore[attr-defined]
+            output = self.output  # type: ignore[attr-defined]
+            if output is not None:
+                output.push_row(
+                    out_count,
+                    rb.t_starts[index],
+                    rb.t_ends[index],
+                    rb.delays[index],
+                    self.out_bytes_per_event,  # type: ignore[attr-defined]
+                    now,
+                )
+
+
+class MapOperator(_StatelessRowFastPath, Operator):
     """One-to-one transformation (projection, enrichment, parsing)."""
 
     def __init__(self, name: str, cost_per_event_ms: float, out_bytes_per_event: int = 100):
@@ -280,7 +764,7 @@ class MapOperator(Operator):
                          out_bytes_per_event=out_bytes_per_event)
 
 
-class FilterOperator(Operator):
+class FilterOperator(_StatelessRowFastPath, Operator):
     """Drops a fraction of events: selectivity < 1."""
 
     def __init__(
@@ -296,7 +780,7 @@ class FilterOperator(Operator):
                          out_bytes_per_event=out_bytes_per_event)
 
 
-class FlatMapOperator(Operator):
+class FlatMapOperator(_StatelessRowFastPath, Operator):
     """One-to-many transformation: selectivity may exceed 1."""
 
     def __init__(
@@ -310,7 +794,7 @@ class FlatMapOperator(Operator):
                          out_bytes_per_event=out_bytes_per_event)
 
 
-class KeyByOperator(Operator):
+class KeyByOperator(_StatelessRowFastPath, Operator):
     """Key-partitioning marker (Flink's ``keyBy``).
 
     Declares the key selector under which downstream keyed windows group
@@ -368,6 +852,10 @@ class _WindowedOperatorBase(Operator):
         # pane start -> accumulated event count
         self._panes: Dict[float, float] = {}
         self._pane_ends: Dict[float, float] = {}
+        # Memoized sum over _panes: the memory model and schedulers read
+        # state_events several times per cycle; mutation sites clear the
+        # memo, so a hit equals a fresh sum over the unchanged table.
+        self._state_events_memo: Optional[float] = None  # klink: transient[memo over _panes, which is captured]
         # Min-heap of (deadline, pane start), kept in lockstep with
         # _pane_ends: pushed when a pane is first buffered, popped when it
         # fires. Gives O(log n) firing and O(1) next_deadline instead of
@@ -385,7 +873,15 @@ class _WindowedOperatorBase(Operator):
     @property
     def state_events(self) -> float:
         """Events currently buffered in window state."""
-        return sum(self._panes.values())
+        memo = self._state_events_memo
+        if memo is None:
+            memo = self._state_events_memo = sum(self._panes.values())
+        return memo
+
+    def _invalidate_state_memo(self) -> None:
+        """Drop the memoized pane mass (e.g. after a restore rebuilt the
+        pane table); the next ``state_events`` read re-sums ``_panes``."""
+        self._state_events_memo = None  # klink: transient[memo over _panes, which is captured]
 
     @property
     def state_bytes(self) -> float:
@@ -432,16 +928,57 @@ class _WindowedOperatorBase(Operator):
             self.stats.late_events_dropped += count * (1.0 - keep)
             count *= keep
             t_start = clock
-        for pane, pane_count in self.assigner.assign_range(t_start, batch.t_end, count):
-            if pane.end <= self._event_clock:
+        panes = self._panes
+        pane_ends = self._pane_ends
+        event_clock = self._event_clock
+        self._state_events_memo = None
+        for p_start, p_end, pane_count in self.assigner.assign_range_raw(
+            t_start, batch.t_end, count
+        ):
+            if p_end <= event_clock:
                 # Pane already fired; late contribution is dropped (Flink's
                 # default allowed-lateness of zero).
                 self.stats.late_events_dropped += pane_count
                 continue
-            self._panes[pane.start] = self._panes.get(pane.start, 0.0) + pane_count
-            if pane.start not in self._pane_ends:
-                self._pane_ends[pane.start] = pane.end
-                heapq.heappush(self._pane_heap, (pane.end, pane.start))
+            panes[p_start] = panes.get(p_start, 0.0) + pane_count
+            if p_start not in pane_ends:
+                pane_ends[p_start] = p_end
+                heapq.heappush(self._pane_heap, (p_end, p_start))
+
+    def _on_row(
+        self,
+        rb: "RecordBatch",
+        index: int,
+        count: float,
+        input_index: int,
+        now: float,
+    ) -> None:
+        # Same logic as _on_batch, reading row columns directly.
+        clock = self._input_watermarks[input_index]
+        t_end = rb.t_ends[index]
+        if t_end <= clock:
+            self.stats.late_events_dropped += count
+            return
+        t_start = rb.t_starts[index]
+        if t_start < clock < t_end:
+            keep = (t_end - clock) / (t_end - t_start)
+            self.stats.late_events_dropped += count * (1.0 - keep)
+            count *= keep
+            t_start = clock
+        panes = self._panes
+        pane_ends = self._pane_ends
+        event_clock = self._event_clock
+        self._state_events_memo = None
+        for p_start, p_end, pane_count in self.assigner.assign_range_raw(
+            t_start, t_end, count
+        ):
+            if p_end <= event_clock:
+                self.stats.late_events_dropped += pane_count
+                continue
+            panes[p_start] = panes.get(p_start, 0.0) + pane_count
+            if p_start not in pane_ends:
+                pane_ends[p_start] = p_end
+                heapq.heappush(self._pane_heap, (p_end, p_start))
 
     def _on_watermark(self, wm: Watermark, input_index: int, now: float) -> None:
         if wm.timestamp <= self._input_watermarks[input_index]:
@@ -464,6 +1001,7 @@ class _WindowedOperatorBase(Operator):
         heap = self._pane_heap
         if not heap or heap[0][0] > up_to:
             return False
+        self._state_events_memo = None
         while heap and heap[0][0] <= up_to:
             end, start = heapq.heappop(heap)
             del self._pane_ends[start]
@@ -622,8 +1160,20 @@ class CountWindowedAggregate(Operator):
         return self._accumulated * self.state_bytes_per_event
 
     def _on_batch(self, batch: EventBatch, input_index: int, now: float) -> None:
-        self._accumulated += batch.count
-        last_t = batch.t_end
+        self._accumulate(batch.count, batch.t_end, now)
+
+    def _on_row(
+        self,
+        rb: RecordBatch,
+        index: int,
+        count: float,
+        input_index: int,
+        now: float,
+    ) -> None:
+        self._accumulate(count, rb.t_ends[index], now)
+
+    def _accumulate(self, count: float, last_t: float, now: float) -> None:
+        self._accumulated += count
         while self._accumulated >= self.size:
             self._accumulated -= self.size
             self.windows_fired += 1
@@ -660,6 +1210,16 @@ class SinkOperator(Operator):
 
     def _on_batch(self, batch: EventBatch, input_index: int, now: float) -> None:
         self.events_delivered += batch.count
+
+    def _on_row(
+        self,
+        rb: RecordBatch,
+        index: int,
+        count: float,
+        input_index: int,
+        now: float,
+    ) -> None:
+        self.events_delivered += count
 
     def _on_watermark(self, wm: Watermark, input_index: int, now: float) -> None:
         if wm.is_swm:

@@ -144,6 +144,15 @@ class StreamProgress:
         self._delay_sum = 0.0
         self._delay_sq_sum = 0.0
         self._delay_weight = 0.0
+        # Version counter + single-slot memo for the estimator's delay
+        # moments: the estimator reads (mu, chi) several times per cycle
+        # (plan, audit, slack), but the underlying accumulators mutate
+        # only on ingestion. The memo caches the last fresh computation,
+        # keyed by (version, history window); any mutation bumps the
+        # version, so a hit returns exactly the value a recomputation
+        # over the unchanged history would produce.
+        self._version = 0  # klink: transient[cache-key counter for the moments memo below]
+        self._moments_memo: Optional[Tuple[int, int, float, float]] = None  # klink: transient[memoized (version, history, mu, chi); recomputed on demand]
         self.last_watermark_ts = -math.inf
         self.last_swm_ingest_time: Optional[float] = None
         self.next_deadline: Optional[float] = (
@@ -159,6 +168,7 @@ class StreamProgress:
         self._delay_sum += delay * weight
         self._delay_sq_sum += delay * delay * weight
         self._delay_weight += weight
+        self._version += 1  # klink: transient[cache-key counter for the moments memo]
 
     def observe_watermark(self, timestamp: float, now: float) -> bool:
         """Record a watermark ingestion; returns True if it was an SWM."""
@@ -188,6 +198,13 @@ class StreamProgress:
         self._delay_sum = 0.0
         self._delay_sq_sum = 0.0
         self._delay_weight = 0.0
+        self._version += 1  # klink: transient[cache-key counter for the moments memo]
+
+    def _invalidate_moments_memo(self) -> None:
+        """Drop the estimator's delay-moments memo (e.g. after a restore
+        rebuilt the accumulators in place); the next read recomputes from
+        the current history."""
+        self._moments_memo = None  # klink: transient[memo over the captured accumulators]
 
     # -- estimator inputs ----------------------------------------------------
 
@@ -366,6 +383,12 @@ class Query:
         self._validate()
         self._downstream: Dict[Operator, Optional[Operator]] = {}
         self._wire_downstream_map()
+        # The operator list is fixed for the query's lifetime, so the
+        # windowed subset can be classified once instead of per lookup
+        # (schedulers read it every cycle).
+        self._windowed_ops: List[_WindowedOperatorBase] = [  # klink: transient[build-time classification of the fixed operator list]
+            op for op in self.operators if isinstance(op, _WindowedOperatorBase)
+        ]
         for binding in self.bindings:
             binding._history = epoch_history
             binding.bind_progress(
@@ -428,14 +451,27 @@ class Query:
 
     @property
     def memory_bytes(self) -> float:
-        """Total memory footprint: queued records plus window state."""
-        return self.queued_bytes + self.state_bytes
+        """Total memory footprint: queued records plus window state.
+
+        One pass over the operators with separate accumulators — the same
+        two float-add sequences as summing ``queued_bytes`` and
+        ``state_bytes`` independently.
+        """
+        queued = 0.0
+        state = 0.0
+        for op in self.operators:
+            if op._queues_dirty:
+                op._refresh_queue_memo()
+            queued += op._queued_bytes_memo
+            state += op.state_bytes
+        return queued + state
 
     def has_work(self) -> bool:
         return any(op.has_work() for op in self.operators)
 
     def windowed_operators(self) -> List[_WindowedOperatorBase]:
-        return [op for op in self.operators if isinstance(op, _WindowedOperatorBase)]
+        """The query's window operators (do not mutate the returned list)."""
+        return self._windowed_ops
 
     def join_operators(self) -> List[WindowedJoin]:
         return [op for op in self.operators if isinstance(op, WindowedJoin)]
@@ -456,9 +492,29 @@ class Query:
         return costs
 
     def pending_cost_ms(self) -> float:
-        """cost_q(t): CPU time to process every queued event end-to-end."""
-        unit = self.unit_costs()
-        return sum(op.queued_events * unit[op] for op in self.operators)
+        """cost_q(t): CPU time to process every queued event end-to-end.
+
+        Inlines :meth:`unit_costs` (same expressions, same walk order):
+        the scheduler evaluates this for every query every cycle.
+        """
+        costs: Dict[Operator, float] = {}
+        downstream = self._downstream
+        for op in reversed(self.operators):
+            down = downstream[op]
+            stats = op.stats
+            sel = (
+                stats.measured_selectivity
+                if stats.events_in > 0
+                else op.selectivity
+            )
+            tail = costs[down] if down is not None else 0.0
+            costs[op] = op.cost_per_event_ms + sel * tail
+        total = 0.0
+        for op in self.operators:
+            if op._queues_dirty:
+                op._refresh_queue_memo()
+            total += op._queued_events_memo * costs[op]
+        return total
 
     def pipeline_cost_per_event_ms(self) -> float:
         """Ideal end-to-end processing cost of a single event (slowdown

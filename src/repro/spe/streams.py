@@ -4,21 +4,37 @@ A :class:`Channel` is the FIFO queue connecting two operators (or a source
 to its first operator). It tracks the aggregate statistics the schedulers
 consume: number of queued events, queued bytes, and the engine-clock time
 at which the head record arrived (FCFS orders queries by this).
+
+Batched mode
+------------
+With ``batch_size > 1`` a channel coalesces consecutive payload pushes
+into columnar :class:`~repro.spe.events.RecordBatch` entries of up to
+``batch_size`` rows. Control records are never merged and seal the tail
+batch, so FIFO order across record kinds is exact. All aggregate
+accounting is applied *per row* in push order — the same float-add
+sequence the per-event path performs — so queue statistics (and thus
+every scheduler decision derived from them) are byte-identical whatever
+the batch size.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Iterator, Optional
 
-from repro.spe.events import EventBatch, LatencyMarker, Watermark
+from repro.spe.events import EventBatch, LatencyMarker, RecordBatch, Watermark
+
+#: rows a partially drained tail batch may accumulate before its consumed
+#: prefix is compacted away (purely a memory bound; never observable)
+_COMPACT_THRESHOLD = 256
 
 
-@dataclass
 class _Entry:
-    record: object
-    enqueued_at: float
+    __slots__ = ("record", "enqueued_at")
+
+    def __init__(self, record: object, enqueued_at: float) -> None:
+        self.record = record
+        self.enqueued_at = enqueued_at
 
 
 class Channel:
@@ -27,7 +43,8 @@ class Channel:
     A channel whose endpoints live on different nodes carries a transfer
     ``latency_ms``: pushed records stay in a pending buffer until the
     engine calls :meth:`release` once the latency has elapsed (the RPC /
-    network hop of a distributed deployment, Sec. 4).
+    network hop of a distributed deployment, Sec. 4). Latency channels
+    never coalesce (each record is an independent transfer).
     """
 
     def __init__(
@@ -37,9 +54,15 @@ class Channel:
             raise ValueError(f"negative channel latency: {latency_ms}")
         self.name = name
         self.latency_ms = latency_ms
+        #: payload rows coalesced per queue entry (1 = per-event mode);
+        #: set by the engine at wiring time for single-input consumers.
+        self.batch_size = 1
         #: consuming operator (if any); its memoized queue aggregates are
         #: invalidated whenever this channel's payload accounting changes.
         self._owner = owner
+        #: position of this channel in the consumer's ``inputs`` list
+        #: (set by the owning operator; saves a list.index per dispatch).
+        self._consumer_index = 0  # klink: transient[build-time wiring, fixed for the life of the topology]
         self._entries: Deque[_Entry] = deque()
         self._pending: Deque[_Entry] = deque()  # in-flight cross-node records
         self._queued_events: float = 0.0
@@ -57,13 +80,78 @@ class Channel:
         if self.latency_ms > 0.0:
             self._pending.append(_Entry(record, now + self.latency_ms))
             return
-        self._entries.append(_Entry(record, now))
         if isinstance(record, EventBatch):
+            if self.batch_size > 1:
+                self.push_row(
+                    record.count,
+                    record.t_start,
+                    record.t_end,
+                    record.delay,
+                    record.bytes_per_event,
+                    now,
+                )
+                return
+            self._entries.append(_Entry(record, now))
             self._queued_events += record.count
             self._queued_bytes += record.bytes
             self.events_pushed += record.count
             if self._owner is not None:
                 self._owner._queues_dirty = True  # klink: transient[back-pointer; only invalidates the owner's queue memo]
+        else:
+            self._entries.append(_Entry(record, now))
+
+    def push_row(
+        self,
+        count: float,
+        t_start: float,
+        t_end: float,
+        delay: float,
+        bytes_per_event: int,
+        now: float,
+    ) -> None:
+        """Enqueue one payload row, coalescing into the tail batch.
+
+        The fast emission path in batched mode: appends columns directly
+        instead of constructing an :class:`EventBatch`. Falls back to a
+        per-event push when this channel does not coalesce.
+        """
+        if self.batch_size > 1 and self.latency_ms == 0.0:
+            entries = self._entries
+            tail = entries[-1].record if entries else None
+            if (
+                type(tail) is RecordBatch
+                and tail.bytes_per_event == bytes_per_event
+                and len(tail.counts) - tail.head < self.batch_size
+            ):
+                if tail.head > _COMPACT_THRESHOLD:
+                    h = tail.head
+                    del tail.counts[:h]
+                    del tail.t_starts[:h]
+                    del tail.t_ends[:h]
+                    del tail.delays[:h]
+                    del tail.enqueued_ats[:h]
+                    tail.head = 0
+                tail.append_row(count, t_start, t_end, delay, now)
+            else:
+                batch = RecordBatch(bytes_per_event)
+                batch.append_row(count, t_start, t_end, delay, now)
+                self._entries.append(_Entry(batch, now))
+            self._queued_events += count
+            self._queued_bytes += count * bytes_per_event
+            self.events_pushed += count
+            if self._owner is not None:
+                self._owner._queues_dirty = True
+            return
+        self.push(
+            EventBatch(
+                count=count,
+                t_start=t_start,
+                t_end=t_end,
+                delay=delay,
+                bytes_per_event=bytes_per_event,
+            ),
+            now,
+        )
 
     def release(self, now: float) -> int:
         """Deliver in-flight records whose transfer completed; returns count."""
@@ -109,11 +197,35 @@ class Channel:
                 self._queued_bytes = 0.0
             if self._owner is not None:
                 self._owner._queues_dirty = True
+        elif isinstance(record, RecordBatch):
+            # Row-by-row accounting in row order: the same float sequence
+            # popping the rows as individual entries would produce.
+            bpe = record.bytes_per_event
+            for i in range(record.head, len(record.counts)):
+                count = record.counts[i]
+                self._queued_events -= count
+                self._queued_bytes -= count * bpe
+                self.events_popped += count
+                if self._queued_events < 1e-9:
+                    self._queued_events = 0.0
+                if self._queued_bytes < 1e-6:
+                    self._queued_bytes = 0.0
+            if self._owner is not None:
+                self._owner._queues_dirty = True
         return entry
 
     def peek(self) -> Optional[_Entry]:
         """Return (without removing) the head entry, or ``None``."""
         return self._entries[0] if self._entries else None
+
+    def discard_head(self) -> None:
+        """Remove the head entry without payload accounting.
+
+        Used by the batched consume path once every row of the head
+        :class:`RecordBatch` has been drained (row accounting already
+        applied as each row was consumed).
+        """
+        self._entries.popleft()
 
     # -- introspection -----------------------------------------------------
 
@@ -144,7 +256,7 @@ class Channel:
     def oldest_event_arrival(self) -> Optional[float]:
         """Arrival time of the oldest queued *payload* record, if any."""
         for entry in self._entries:
-            if isinstance(entry.record, (EventBatch, LatencyMarker)):
+            if isinstance(entry.record, (EventBatch, RecordBatch, LatencyMarker)):
                 return entry.enqueued_at
         return None
 
@@ -157,8 +269,12 @@ class Channel:
         # Dropped records count as consumed so the cumulative flow
         # counters stay consistent with the (now empty) queue.
         for entry in self._entries:
-            if isinstance(entry.record, EventBatch):
-                self.events_popped += entry.record.count
+            record = entry.record
+            if isinstance(record, EventBatch):
+                self.events_popped += record.count
+            elif isinstance(record, RecordBatch):
+                for i in range(record.head, len(record.counts)):
+                    self.events_popped += record.counts[i]
         self._entries.clear()
         self._queued_events = 0.0
         self._queued_bytes = 0.0

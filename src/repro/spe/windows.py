@@ -54,6 +54,21 @@ class WindowAssigner(abc.ABC):
         per-event sliding-window assigner performs.
         """
 
+    def assign_range_raw(
+        self, t_start: float, t_end: float, count: float
+    ) -> List[Tuple[float, float, float]]:
+        """:meth:`assign_range` as plain ``(start, end, count)`` tuples.
+
+        The hot batched ingestion path calls this instead of
+        :meth:`assign_range` to skip :class:`Pane` construction; the
+        arithmetic is the same. Assigners may override with a direct
+        implementation; the default delegates.
+        """
+        return [
+            (pane.start, pane.end, c)
+            for pane, c in self.assign_range(t_start, t_end, count)
+        ]
+
 
 class SlidingEventTimeWindows(WindowAssigner):
     """Sliding event-time windows of ``size`` every ``slide`` milliseconds.
@@ -83,63 +98,91 @@ class SlidingEventTimeWindows(WindowAssigner):
     def is_tumbling(self) -> bool:
         return self.size == self.slide
 
+    # Pane starts sit on the grid `offset + k * slide`. Every boundary
+    # below is derived from the integer grid index `k` with one multiply
+    # and one add (the PeriodicCursor discipline) rather than repeated
+    # `+= slide` accumulation, which rounds once per addition and can
+    # drift by more than one slide over a long walk — enough to skip or
+    # duplicate a pane at exact-boundary timestamps with non-zero offset.
+
+    def _grid_start(self, k: float) -> float:
+        return self.offset + k * self.slide
+
     def assign(self, timestamp: float) -> List[Pane]:
         t = timestamp - self.offset
-        last_start = self.slide * math.floor(t / self.slide) + self.offset
+        k = math.floor(t / self.slide)
         # Guard float rounding at pane boundaries: pane ends are exclusive.
-        while last_start > timestamp:
-            last_start -= self.slide
-        while last_start + self.slide <= timestamp:
-            last_start += self.slide
+        while self._grid_start(k) > timestamp:
+            k -= 1
+        while self._grid_start(k + 1) <= timestamp:
+            k += 1
         panes = []
-        start = last_start
+        start = self._grid_start(k)
         while start > timestamp - self.size and start + self.size > timestamp:
             panes.append(Pane(start, start + self.size))
-            start -= self.slide
+            k -= 1
+            start = self._grid_start(k)
         return panes
 
     def next_deadline(self, timestamp: float) -> float:
         # Deadlines (pane ends) sit at `offset + k*slide + size`. The
-        # smallest such value strictly greater than `timestamp`:
+        # smallest such value strictly greater than `timestamp` — guarded
+        # in BOTH directions with loops (a single `+= slide` bump cannot
+        # recover when the floor-derived k is off by more than one grid
+        # step, which happens at boundary timestamps with non-zero
+        # offset once `(t - size) / slide` rounds across an integer).
         t = timestamp - self.offset
         k = math.floor((t - self.size) / self.slide) + 1
-        deadline = self.offset + k * self.slide + self.size
-        if deadline <= timestamp:  # guard against float rounding
-            deadline += self.slide
-        return deadline
+        while self._grid_start(k) + self.size <= timestamp:
+            k += 1
+        while self._grid_start(k - 1) + self.size > timestamp:
+            k -= 1
+        return self._grid_start(k) + self.size
 
     def assign_range(
         self, t_start: float, t_end: float, count: float
     ) -> List[Tuple[Pane, float]]:
+        return [
+            (Pane(start, end), c)
+            for start, end, c in self.assign_range_raw(t_start, t_end, count)
+        ]
+
+    def assign_range_raw(
+        self, t_start: float, t_end: float, count: float
+    ) -> List[Tuple[float, float, float]]:
         if count <= 0:
             return []
         span = t_end - t_start
         if span < 1e-9:
             # (Sub-nanosecond) point interval: delegate to the exact
             # per-event assignment rather than dividing by ~zero mass.
-            return [(pane, count) for pane in self.assign(t_start)]
-        # Collect every pane overlapping [t_start, t_end].
-        first_start = (
-            self.slide * math.floor((t_start - self.size - self.offset) / self.slide)
-            + self.slide
-            + self.offset
-        )
-        # first pane whose interval can include t_start:
-        while first_start + self.size <= t_start:
-            first_start += self.slide
-        out: List[Tuple[Pane, float]] = []
-        start = first_start
+            return [(pane.start, pane.end, count) for pane in self.assign(t_start)]
+        # First pane (smallest grid index) whose interval can include
+        # t_start — guarded in both directions so a boundary-exact
+        # t_start with non-zero offset never loses its leading pane
+        # (which silently dropped uniform mass below count*size/slide).
+        size = self.size
+        slide = self.slide
+        offset = self.offset
+        k = math.floor((t_start - size - offset) / slide) + 1
+        while offset + k * slide + size <= t_start:
+            k += 1
+        while offset + (k - 1) * slide + size > t_start:
+            k -= 1
+        out: List[Tuple[float, float, float]] = []
+        start = offset + k * slide
         while start <= t_end:
-            pane = Pane(start, start + self.size)
-            overlap = min(t_end, pane.end) - max(t_start, pane.start)
+            end = start + size
+            overlap = min(t_end, end) - max(t_start, start)
             # Events are uniform on [t_start, t_end]; an event belongs to
             # this pane iff it falls inside the overlap. (pane.end is
             # exclusive but measure-zero boundaries don't matter for
             # uniform mass.)
             fraction = max(0.0, overlap) / span
             if fraction > 0:
-                out.append((pane, count * fraction))
-            start += self.slide
+                out.append((start, end, count * fraction))
+            k += 1
+            start = offset + k * slide
         # `fraction` sums to size/slide (pane memberships) across panes.
         return out
 

@@ -160,15 +160,52 @@ class TestCompareSnapshots:
         current["latency_ms"]["mean"] = 1.2  # +140% but only +0.7ms
         assert compare_snapshots(baseline, current).ok
 
-    def test_missing_values_skip_but_never_regress(self):
+    def test_missing_values_report_but_never_regress(self):
         current = sample_snapshot()
         current["latency_ms"]["p50"] = None
         current["watermark_lag_ms"] = {"mean": None, "max": None}
         result = compare_snapshots(sample_snapshot(), current)
         assert result.ok
-        skipped = {d.metric for d in result.deltas if d.limit == "skipped"}
-        assert "latency_ms.p50" in skipped
-        assert "watermark_lag_ms.max" in skipped
+        missing = {d.metric for d in result.missing}
+        assert "latency_ms.p50" in missing
+        assert "watermark_lag_ms.max" in missing
+        assert set(result.to_dict()["missing"]) == missing
+
+    def test_nan_vs_number_diffs_as_missing_not_regression(self):
+        # A NaN metric (empty-input mean from an in-memory trace summary)
+        # against a real number must surface as "missing" — even when the
+        # numeric comparison would otherwise have been a huge regression.
+        current = sample_snapshot()
+        current["latency_ms"]["mean"] = float("nan")
+        current["throughput_eps"] = float("nan")  # lower-is-worse metric
+        result = compare_snapshots(sample_snapshot(), current)
+        assert result.ok  # never a spurious regression
+        missing = {d.metric for d in result.missing}
+        assert "latency_ms.mean" in missing
+        assert "throughput_eps" in missing
+        by_metric = {d.metric: d for d in result.deltas}
+        delta = by_metric["latency_ms.mean"]
+        assert delta.limit == "missing"
+        assert delta.current is None and delta.change_pct is None
+        assert not delta.regressed
+        rendered = render_comparison(result)
+        assert "(missing)" in rendered
+        assert "metric(s) missing" in rendered  # not a silent pass
+
+    def test_nan_vs_nan_is_missing_not_silent_equality(self):
+        baseline = sample_snapshot()
+        current = sample_snapshot()
+        baseline["latency_ms"]["p99"] = float("nan")
+        current["latency_ms"]["p99"] = float("nan")
+        result = compare_snapshots(baseline, current)
+        assert result.ok
+        by_metric = {d.metric: d for d in result.deltas}
+        delta = by_metric["latency_ms.p99"]
+        # NaN == NaN is false; the pinned semantics report the cell as
+        # missing rather than pretending the two runs agreed.
+        assert delta.limit == "missing"
+        assert delta.baseline is None and delta.current is None
+        assert "latency_ms.p99" in {d.metric for d in result.missing}
 
     def test_operator_cpu_growth_detected(self):
         current = sample_snapshot()

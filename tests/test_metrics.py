@@ -147,3 +147,21 @@ class TestMeanWithCI:
         _, half95 = mean_with_ci(samples, confidence=0.95)
         _, half99 = mean_with_ci(samples, confidence=0.99)
         assert half99 > half95
+
+    def test_half_width_is_student_t(self):
+        # Pin the documented contract: the half-width is the standard
+        # error scaled by the Student-t critical value with n-1 degrees
+        # of freedom, not the normal z. For [1..5]: sem = sqrt(0.5) and
+        # t.ppf(0.975, 4) = 2.7764451..., so half = 1.96324...; the
+        # normal approximation (z = 1.95996) would give 1.38590.
+        from scipy import stats
+
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        mean, half = mean_with_ci(samples, confidence=0.95)
+        sem = float(stats.sem(np.asarray(samples, dtype=float)))
+        expected = sem * float(stats.t.ppf(0.975, 4))
+        assert mean == 3.0
+        assert half == expected
+        assert half == pytest.approx(1.9632431615, abs=1e-9)
+        z_half = sem * float(stats.norm.ppf(0.975))
+        assert half > z_half * 1.4  # clearly t, not the normal z

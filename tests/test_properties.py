@@ -77,6 +77,42 @@ class TestWindowProperties:
         panes = assigner.assign(deadline - 1e-3)
         assert any(abs(p.end - deadline) < 1e-2 for p in panes)
 
+    @given(
+        assigners(),
+        times,
+        st.floats(min_value=10.0, max_value=5_000.0),
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_assign_range_mass_conserved_within_1e9(
+        self, assigner, t0, span, count
+    ):
+        # Mass conservation at tight tolerance: the per-pane counts sum
+        # to count x (panes per event). The assigner strategy always
+        # builds integer size/slide ratios, so the membership count is
+        # constant over the span (measure-zero boundaries aside) and the
+        # identity holds exactly in real arithmetic; 1e-9 relative
+        # allows only float roundoff of the overlap telescoping sum.
+        # Spans are bounded below at 10 ms (a generation batch is ~50 ms):
+        # as the span shrinks toward zero the overlap subtraction cancels
+        # catastrophically and no fixed relative tolerance can hold.
+        t1 = t0 + span
+        assignments = assigner.assign_range(t0, t1, count)
+        total = sum(c for _, c in assignments)
+        memberships = round(assigner.size / assigner.slide)
+        assert total == pytest.approx(count * memberships, rel=1e-9)
+
+    @given(assigners(), times, st.floats(min_value=1e-3, max_value=1e6))
+    @settings(max_examples=200)
+    def test_point_interval_agrees_with_assign(self, assigner, t, count):
+        # A zero-width interval must delegate to the exact per-event
+        # assignment: same panes, the full mass in each (no uniform
+        # splitting against a ~zero span).
+        point = assigner.assign_range(t, t, count)
+        direct = assigner.assign(t)
+        assert [p for p, _ in point] == direct
+        assert all(c == count for _, c in point)
+
     @given(assigners(), times)
     @settings(max_examples=100)
     def test_assign_is_special_case_of_assign_range(self, assigner, t):

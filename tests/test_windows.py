@@ -130,6 +130,102 @@ class TestAssignRange:
         assert assignments[1000.0] == pytest.approx(50.0)
 
 
+class TestBoundaryRegressions:
+    """Timestamps exactly on the pane grid ``offset + k * slide``.
+
+    Regression tests for the float guards in ``next_deadline`` and
+    ``assign_range``: a floor-derived grid index can land more than one
+    step off at exact-boundary timestamps with a non-zero offset, and a
+    single ``+= slide`` bump could not recover — skipping or duplicating
+    a deadline/pane. The guards walk in BOTH directions until the grid
+    brackets the timestamp.
+    """
+
+    # (size, slide, offset) combinations with float-unfriendly grids.
+    GRIDS = [
+        (1000.0, 1000.0, 0.0),
+        (1000.0, 1000.0, 300.0),
+        (1000.0, 250.0, 123.456),
+        (1500.0, 500.0, 499.999999),
+        (1000.0, 100.1, 0.3),
+        (3600.0, 300.0, 0.1),
+    ]
+
+    @staticmethod
+    def _oracle_next_deadline(w, t):
+        # Independent oracle: scan grid ends around the timestamp and
+        # take the smallest strictly greater one, using the same float
+        # expression (offset + j*slide + size) as the grid definition.
+        j0 = math.floor((t - w.size - w.offset) / w.slide)
+        candidates = [
+            w.offset + j * w.slide + w.size for j in range(j0 - 4, j0 + 8)
+        ]
+        return min(c for c in candidates if c > t)
+
+    def test_next_deadline_at_exact_grid_points(self):
+        for size, slide, offset in self.GRIDS:
+            w = SlidingEventTimeWindows(size, slide, offset=offset)
+            for k in list(range(0, 60)) + [600, 6000, 60000]:
+                t = w.offset + k * w.slide  # exactly on the pane grid
+                nd = w.next_deadline(t)
+                assert nd > t, (size, slide, offset, k)
+                assert nd == self._oracle_next_deadline(w, t), (
+                    size, slide, offset, k,
+                )
+
+    def test_next_deadline_at_exact_pane_ends(self):
+        # A timestamp that IS a pane end must yield the next end, never
+        # itself ("strictly greater" contract).
+        for size, slide, offset in self.GRIDS:
+            w = SlidingEventTimeWindows(size, slide, offset=offset)
+            for k in range(0, 40):
+                end = w.offset + k * w.slide + w.size
+                nd = w.next_deadline(end)
+                assert nd > end
+                assert nd == self._oracle_next_deadline(w, end)
+
+    def test_assign_at_exact_grid_points_covers_timestamp(self):
+        for size, slide, offset in self.GRIDS:
+            w = SlidingEventTimeWindows(size, slide, offset=offset)
+            memberships = round(size / slide)
+            exact = (size / slide) == memberships
+            for k in range(0, 40):
+                t = w.offset + k * w.slide
+                panes = w.assign(t)
+                assert panes, (size, slide, offset, k)
+                for pane in panes:
+                    assert pane.start <= t < pane.end
+                if exact:
+                    # On a boundary with an integer size/slide ratio the
+                    # event belongs to size/slide panes; when the grid
+                    # values are not exactly representable, a pane end
+                    # that rounds across the point may add or drop one
+                    # measure-zero membership — but never more (the
+                    # off-by-many skips the guards exist to prevent).
+                    assert abs(len(panes) - memberships) <= 1, (
+                        size, slide, offset, k,
+                    )
+                    if offset == 0.0 or slide == 1000.0:
+                        # Exactly representable grids: no rounding slack.
+                        assert len(panes) == memberships, (
+                            size, slide, offset, k,
+                        )
+
+    def test_assign_range_leading_pane_not_dropped_at_boundary(self):
+        # A batch starting exactly on the grid once lost its leading
+        # pane's mass when the floor-derived start index rounded high.
+        for size, slide, offset in self.GRIDS:
+            w = SlidingEventTimeWindows(size, slide, offset=offset)
+            memberships = size / slide
+            if memberships != round(memberships):
+                continue
+            for k in range(0, 40):
+                t0 = w.offset + k * w.slide
+                t1 = t0 + 3.0 * slide
+                total = sum(c for _, c in w.assign_range(t0, t1, 100.0))
+                assert total == pytest.approx(100.0 * memberships, rel=1e-9)
+
+
 class TestCountWindows:
     def test_no_time_deadline(self):
         w = CountWindows(100)
