@@ -160,6 +160,8 @@ _ENTRY_SPECS: Tuple[_EntrySpec, ...] = (
                ("metrics",), "RunMetrics", dataclass_fields=True),
     _EntrySpec("board", ("_board_state",), ("_restore_board",),
                ("board",), "ForwardingBoard"),
+    _EntrySpec("lineage", ("capture_lineage",), ("restore_lineage",),
+               ("tracker",), "LineageTracker"),
 )
 
 

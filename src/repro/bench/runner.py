@@ -44,6 +44,7 @@ from repro.faults import FaultPlan, InvariantMonitor
 from repro.obs import (
     AuditLog,
     ChainProfile,
+    LineageTracker,
     OperatorProfiler,
     TelemetryConfig,
     TelemetrySampler,
@@ -140,6 +141,10 @@ class ExperimentConfig:
     # path); execution is byte-identical for every value, so this is a
     # pure wall-clock knob and safe to default on
     batch_size: int = 64
+    # hash-based lineage sampling rate (0 = off). Tracing is a pure
+    # observer: any rate leaves summaries, scheduler decisions, and
+    # checkpoint bytes identical to an untraced run.
+    lineage_sample_rate: float = 0.0
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -157,6 +162,7 @@ class ExperimentResult:
     audit: Optional[AuditLog] = None
     chain_profiles: List[ChainProfile] = field(default_factory=list)
     telemetry: Optional[TelemetrySampler] = None
+    lineage: Optional[LineageTracker] = None
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -225,6 +231,7 @@ def trace_from_result(result: ExperimentResult) -> Trace:
             "experiment ran without an audit log; re-run with audit=True"
         )
     sampler = result.telemetry
+    tracker = result.lineage
     return Trace(
         meta=trace_meta(result.config),
         cycles=[record.to_dict() for record in result.audit.rows],
@@ -232,6 +239,9 @@ def trace_from_result(result: ExperimentResult) -> Trace:
         chains=[c.to_dict() for c in result.chain_profiles],
         series=sampler.series_rows() if sampler is not None else [],
         alerts=sampler.alert_rows() if sampler is not None else [],
+        lineage=tracker.lineage_rows() if tracker is not None else [],
+        swm_forecast=tracker.swm_forecast_rows() if tracker is not None else [],
+        lineage_summary=tracker.summary_row() if tracker is not None else {},
         summary=trace_summary(result.metrics),
     )
 
@@ -274,6 +284,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             ),
             rules=parse_rules(config.alert_rules),
         )
+    lineage = None
+    if config.lineage_sample_rate > 0.0:
+        lineage = LineageTracker(config.lineage_sample_rate, seed=config.seed)
+        if isinstance(scheduler, KlinkScheduler):
+            # Pure observer of the estimates Klink computes anyway; the
+            # scheduler's decisions are untouched.
+            scheduler.forecast_audit = lineage.forecast
     checkpoints = None
     recovery = None
     if config.checkpoint_period_ms is not None:
@@ -298,6 +315,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         recovery=recovery,
         validate=config.validate,
         batch_size=config.batch_size,
+        lineage=lineage,
     )
     metrics = engine.run(config.duration_ms)
     chains = profiler.chain_profiles(queries) if profiler is not None else []
@@ -307,6 +325,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             chains=[c.to_dict() for c in chains],
             series=sampler.series_rows() if sampler is not None else (),
             alerts=sampler.alert_rows() if sampler is not None else (),
+            lineage=lineage.lineage_rows() if lineage is not None else (),
+            swm_forecast=(
+                lineage.swm_forecast_rows() if lineage is not None else ()
+            ),
+            lineage_summary=(
+                lineage.summary_row() if lineage is not None else None
+            ),
             summary=trace_summary(metrics),
         )
     return ExperimentResult(
@@ -316,6 +341,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         audit=audit,
         chain_profiles=chains,
         telemetry=sampler,
+        lineage=lineage,
     )
 
 

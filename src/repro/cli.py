@@ -193,6 +193,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "for simulation wall-clock",
     )
     parser.add_argument(
+        "--lineage-sample-rate", type=float, default=0.0, metavar="RATE",
+        help="trace a deterministic hash-sampled fraction of records "
+             "end-to-end (network/queue/execute/window/emit latency "
+             "waterfall + SWM-forecast audit); a pure observer — any "
+             "rate leaves summaries and checkpoints byte-identical to "
+             "an untraced run (default 0 = off)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result-cache directory (default: "
              "$REPRO_BENCH_CACHE or .bench_cache)",
@@ -252,6 +260,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint_period_ms=args.checkpoint_period,
         recover=args.recover,
         batch_size=args.batch_size,
+        lineage_sample_rate=args.lineage_sample_rate,
         **_telemetry_fields(args),
     )
     if args.bench_json:
@@ -291,6 +300,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint_period_ms=args.checkpoint_period,
         recover=args.recover,
         batch_size=args.batch_size,
+        lineage_sample_rate=args.lineage_sample_rate,
         **_telemetry_fields(args),
     )
     _configure_cli_cache(args)
@@ -311,13 +321,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import build_report, jsonify, read_trace, render_text
+    from repro.obs.report import render_waterfall
     from repro.obs.schema import (
         SchemaError,
         validate_alert,
         validate_cycle,
+        validate_lineage,
+        validate_lineage_summary,
         validate_operator,
         validate_report,
         validate_series,
+        validate_swm_forecast,
     )
 
     if args.trace is not None:
@@ -358,6 +372,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             profile=True,
             telemetry=True,
             trace_path=args.save_trace,
+            lineage_sample_rate=args.lineage_sample_rate,
         )
         res = run_experiment(cfg)
         trace = trace_from_result(res)
@@ -374,13 +389,20 @@ def cmd_report(args: argparse.Namespace) -> int:
                 validate_series(jsonify(row))
             for row in trace.alerts:
                 validate_alert(jsonify(row))
+            for row in trace.lineage:
+                validate_lineage(jsonify(row))
+            for row in trace.swm_forecast:
+                validate_swm_forecast(jsonify(row))
+            if trace.lineage_summary:
+                validate_lineage_summary(jsonify(trace.lineage_summary))
         except SchemaError as exc:
             print(f"[schema] FAIL: {exc}", file=sys.stderr)
             return 1
         print(
             f"[schema] OK: report + {len(trace.cycles)} cycle, "
             f"{len(trace.operators)} operator, {len(trace.series)} series, "
-            f"and {len(trace.alerts)} alert records",
+            f"{len(trace.alerts)} alert, and {len(trace.lineage)} "
+            "lineage records",
             file=sys.stderr,
         )
     if args.chrome:
@@ -392,7 +414,9 @@ def cmd_report(args: argparse.Namespace) -> int:
             print(f"[chrome] FAIL: {exc}", file=sys.stderr)
             return 1
         print(f"[chrome] wrote {args.chrome}", file=sys.stderr)
-    if args.format == "json":
+    if args.waterfall:
+        print(render_waterfall(report))
+    elif args.format == "json":
         print(report.to_json())
     else:
         print(render_text(report))
@@ -628,6 +652,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome", default=None, metavar="PATH",
         help="also export a Chrome trace-event (chrome://tracing / "
              "Perfetto) flame chart of the run to PATH",
+    )
+    report_p.add_argument(
+        "--lineage-sample-rate", type=float, default=0.0, metavar="RATE",
+        help="for fresh runs: trace a deterministic hash-sampled "
+             "fraction of records for the latency waterfall and "
+             "SWM-forecast audit (default 0 = off)",
+    )
+    report_p.add_argument(
+        "--waterfall", action="store_true",
+        help="print only the lineage sections: latency waterfall, "
+             "SWM-forecast accuracy, and tracing overhead",
     )
     report_p.set_defaults(func=cmd_report)
 

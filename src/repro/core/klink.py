@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.audit import QueryDecision
+    from repro.obs.lineage import SwmForecastAudit
 
 from repro.core.estimator import SwmEstimate, SwmIngestionEstimator
 from repro.core.memory_policy import best_prefix
@@ -37,6 +38,12 @@ class KlinkScheduler(Scheduler):
     #: modelled per-query fixed evaluation cost per cycle (runtime data
     #: collection + priority bookkeeping)
     per_query_overhead_ms = 0.05
+
+    #: optional SWM-forecast accuracy audit (repro.obs.SwmForecastAudit),
+    #: installed by the bench runner when lineage tracing is enabled. A
+    #: pure observer of the estimates Klink computes anyway — it is kept
+    #: out of snapshot_state so checkpoint bytes are unchanged by tracing.
+    forecast_audit: Optional["SwmForecastAudit"] = None
 
     def __init__(
         self,
@@ -95,12 +102,17 @@ class KlinkScheduler(Scheduler):
         cost = query.pending_cost_ms()
         slacks: List[float] = []
         steps = 0
+        audit = self.forecast_audit
         for binding in query.bindings:
             estimate = self.estimator.estimate(
                 binding, phase=query.deployed_at
             )
             if estimate is None:
                 continue
+            if audit is not None:
+                audit.on_prediction(
+                    query.query_id, binding.source_id, estimate, binding, ctx.now
+                )
             slacks.append(
                 expected_slack(estimate, ctx.now, cost, ctx.cycle_ms)
             )

@@ -43,6 +43,19 @@ class DelayModel(abc.ABC):
         """Reset the random stream (used to make experiment repetitions vary)."""
         self._rng = np.random.default_rng(seed)
 
+    def describe(self) -> dict:
+        """Analytic summary of the model, for observability records.
+
+        The SWM-forecast audit annotates each source's calibration row
+        with the delay model it faced, so a reader can judge prediction
+        error against the delay spread that produced it.
+        """
+        return {
+            "model": type(self).__name__,
+            "mean_ms": float(self.mean),
+            "bound_ms": float(self.bound),
+        }
+
 
 class ConstantDelay(DelayModel):
     """Every event is delayed by exactly ``delay_ms``. Useful in tests."""

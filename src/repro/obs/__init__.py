@@ -16,7 +16,11 @@ The subsystem that lets a run *prove* its claims:
 * :mod:`repro.obs.alerts` — declarative SLO/alert rules evaluated over
   the telemetry series during the run;
 * :mod:`repro.obs.flame` — Chrome trace-event (Perfetto) flame-chart
-  export of cycles, operator spans, alerts, and counter tracks;
+  export of cycles, operator spans, alerts, counter tracks, and lineage
+  waterfalls;
+* :mod:`repro.obs.lineage` — deterministic sampled per-record causal
+  tracing (latency-waterfall attribution) and the SWM-forecast
+  accuracy audit;
 * :mod:`repro.obs.compare` — ``repro-bench compare``: ``BENCH_*.json``
   telemetry snapshots and threshold-gated cross-run regression diffs.
 
@@ -52,15 +56,24 @@ from repro.obs.export import (
     read_trace,
 )
 from repro.obs.profile import ChainProfile, OperatorProfile, OperatorProfiler
-from repro.obs.report import Episode, RunReport, build_report, render_text
+from repro.obs.report import (
+    Episode,
+    RunReport,
+    build_report,
+    render_text,
+    render_waterfall,
+)
 from repro.obs.schema import (
     REPORT_SCHEMA,
     SchemaError,
     validate_alert,
     validate_cycle,
+    validate_lineage,
+    validate_lineage_summary,
     validate_operator,
     validate_report,
     validate_series,
+    validate_swm_forecast,
 )
 from repro.obs.alerts import (
     AlertEngine,
@@ -85,6 +98,13 @@ from repro.obs.flame import (
     chrome_trace_events,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.lineage import (
+    LineageTracker,
+    RECORD_STATUSES,
+    SPAN_KINDS,
+    SwmForecastAudit,
+    waterfall,
 )
 from repro.obs.timeseries import (
     Counter,
@@ -118,6 +138,7 @@ __all__ = [
     "Episode",
     "build_report",
     "render_text",
+    "render_waterfall",
     "SchemaError",
     "REPORT_SCHEMA",
     "validate_report",
@@ -125,6 +146,14 @@ __all__ = [
     "validate_operator",
     "validate_series",
     "validate_alert",
+    "validate_lineage",
+    "validate_swm_forecast",
+    "validate_lineage_summary",
+    "LineageTracker",
+    "SwmForecastAudit",
+    "waterfall",
+    "SPAN_KINDS",
+    "RECORD_STATUSES",
     "Counter",
     "Gauge",
     "Histogram",

@@ -11,17 +11,23 @@ the *run trace* container format used by ``repro-bench report``:
 
 one JSONL file, one record per line, discriminated by a ``type`` field::
 
-    {"type": "meta", "schema_version": 2, "workload": "ysb", ...}
+    {"type": "meta", "schema_version": 3, "workload": "ysb", ...}
     {"type": "cycle", "time": 120.0, "decisions": [...], ...}   # repeated
     {"type": "operator", "query_id": "ysb-0", "name": ..., ...} # repeated
     {"type": "chain", "query_id": "ysb-0", ...}                 # repeated
     {"type": "series", "name": "queue_depth", "points": [...]}  # repeated, v2+
     {"type": "alert", "rule": "slo-latency", "start": ..., ...} # repeated, v2+
+    {"type": "lineage", "rid": ..., "components": ..., ...}     # repeated, v3+
+    {"type": "swm_forecast", "query_id": ..., ...}              # repeated, v3+
+    {"type": "lineage_summary", "rows_sampled": ..., ...}       # v3+
     {"type": "summary", "mean_latency_ms": ..., "latency_cdf": [...]}
 
-Schema version 2 (this layout) adds the telemetry ``series`` and
-``alert`` sections; version-1 traces contain none of them and still
-parse through :func:`read_trace` with those sections empty.
+Schema version 2 added the telemetry ``series`` and ``alert`` sections;
+version 3 (this layout) adds the event-lineage sections (``lineage``,
+``swm_forecast``, ``lineage_summary``), written only when lineage
+tracing is enabled. Version-1 and version-2 traces contain none of the
+newer sections and still parse through :func:`read_trace` with those
+sections empty.
 
 Serialization is deterministic: dictionaries are written in insertion
 order with fixed separators, and non-finite floats are mapped to
@@ -38,8 +44,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, IO, List, Mapping, Optional, Sequence
 
 #: version of the trace/report container format (bump on breaking change);
-#: v2 added the telemetry ``series``/``alert`` record types (PR 4)
-SCHEMA_VERSION = 2
+#: v2 added the telemetry ``series``/``alert`` record types (PR 4); v3 the
+#: lineage ``lineage``/``swm_forecast``/``lineage_summary`` record types
+SCHEMA_VERSION = 3
 
 
 def jsonify(value: Any) -> Any:
@@ -148,6 +155,10 @@ class Trace:
     #: telemetry sections (schema v2+; empty for v1 traces)
     series: List[Dict[str, Any]] = field(default_factory=list)
     alerts: List[Dict[str, Any]] = field(default_factory=list)
+    #: event-lineage sections (schema v3+; empty unless tracing was on)
+    lineage: List[Dict[str, Any]] = field(default_factory=list)
+    swm_forecast: List[Dict[str, Any]] = field(default_factory=list)
+    lineage_summary: Dict[str, Any] = field(default_factory=dict)
     summary: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -184,9 +195,18 @@ class TraceWriter:
         chains: Sequence[Mapping[str, Any]] = (),
         series: Sequence[Mapping[str, Any]] = (),
         alerts: Sequence[Mapping[str, Any]] = (),
+        lineage: Sequence[Mapping[str, Any]] = (),
+        swm_forecast: Sequence[Mapping[str, Any]] = (),
+        lineage_summary: Optional[Mapping[str, Any]] = None,
         summary: Optional[Mapping[str, Any]] = None,
     ) -> None:
-        """Append the end-of-run records and close the file."""
+        """Append the end-of-run records and close the file.
+
+        The ``lineage_summary`` record's ``trace_bytes`` field is filled
+        here with the on-disk bytes of the ``lineage`` and
+        ``swm_forecast`` lines just written — the trace-size overhead
+        attributable to tracing.
+        """
         if self._finalized:
             return
         for row in operators:
@@ -204,6 +224,22 @@ class TraceWriter:
         for row in alerts:
             tagged = {"type": "alert"}
             tagged.update(row)
+            self._writer.write(tagged)
+        lineage_bytes = 0
+        for row in lineage:
+            tagged = {"type": "lineage"}
+            tagged.update(row)
+            lineage_bytes += len(dumps_line(tagged).encode("utf-8")) + 1
+            self._writer.write(tagged)
+        for row in swm_forecast:
+            tagged = {"type": "swm_forecast"}
+            tagged.update(row)
+            lineage_bytes += len(dumps_line(tagged).encode("utf-8")) + 1
+            self._writer.write(tagged)
+        if lineage_summary is not None:
+            tagged = {"type": "lineage_summary"}
+            tagged.update(lineage_summary)
+            tagged["trace_bytes"] = lineage_bytes
             self._writer.write(tagged)
         if summary is not None:
             tagged = {"type": "summary"}
@@ -241,6 +277,18 @@ def read_trace(path: str) -> Trace:
                 trace.series.append(row)
             elif kind == "alert":
                 trace.alerts.append(row)
+            elif kind == "lineage":
+                for key in ("rid", "status", "components", "spans"):
+                    if key not in row:
+                        raise ValueError(
+                            f"{path}:{lineno}: corrupt lineage record: "
+                            f"missing field {key!r}"
+                        )
+                trace.lineage.append(row)
+            elif kind == "swm_forecast":
+                trace.swm_forecast.append(row)
+            elif kind == "lineage_summary":
+                trace.lineage_summary = row
             elif kind == "summary":
                 trace.summary = row
             else:

@@ -30,12 +30,14 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.export import Trace, dumps_line, jsonify
+from repro.obs.lineage import SPAN_KINDS
 from repro.obs.schema import SchemaError
 
 #: trace-event process ids (render as named groups in the UI)
 PID_SCHEDULER = 0
 PID_OPERATORS = 1
 PID_TELEMETRY = 2
+PID_LINEAGE = 3
 
 #: event phases used by the exporter
 _PHASE_COMPLETE = "X"
@@ -249,6 +251,50 @@ def _resilience_events(summary: Mapping[str, Any]) -> List[Dict[str, Any]]:
     return events
 
 
+def _lineage_events(
+    lineage: Sequence[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Stacked waterfall spans, one track per sampled record.
+
+    Each lineage record gets its own ``tid`` named by its record id; its
+    span chain renders as back-to-back ``X`` events on the virtual
+    clock, so scrubbing a track reads the record's latency waterfall
+    directly (network -> queue -> execute -> window -> emit).
+    """
+    events: List[Dict[str, Any]] = []
+    for tid, row in enumerate(lineage):
+        rid = str(row.get("rid", "?"))
+        events.append(
+            _metadata(
+                "thread_name",
+                PID_LINEAGE,
+                tid,
+                f"{rid} [{row.get('status', '?')}]",
+            )
+        )
+        for span in row.get("spans", ()):
+            start = max(float(span.get("start", 0.0)), 0.0)
+            end = max(float(span.get("end", start)), start)
+            events.append(
+                {
+                    "name": str(span.get("kind", "?")),
+                    "cat": "lineage",
+                    "ph": _PHASE_COMPLETE,
+                    "ts": _us(start),
+                    "dur": _us(end - start),
+                    "pid": PID_LINEAGE,
+                    "tid": tid,
+                    "args": {
+                        "rid": rid,
+                        "op": span.get("op"),
+                        "status": row.get("status"),
+                        "end_to_end_ms": row.get("end_to_end_ms"),
+                    },
+                }
+            )
+    return events
+
+
 def chrome_trace_events(
     trace: Trace, *, include_series: bool = True
 ) -> Dict[str, Any]:
@@ -263,10 +309,15 @@ def chrome_trace_events(
         _metadata("process_name", PID_OPERATORS, 0, "operator flame"),
         _metadata("process_name", PID_TELEMETRY, 0, "telemetry series"),
     ]
+    if trace.lineage:
+        events.append(
+            _metadata("process_name", PID_LINEAGE, 0, "lineage waterfalls")
+        )
     events += _cycle_events(trace.cycles, cycle_ms)
     events += _operator_events(trace.operators)
     events += _alert_events(trace.alerts)
     events += _resilience_events(trace.summary or {})
+    events += _lineage_events(trace.lineage)
     if include_series:
         events += _series_events(trace.series)
     return {
@@ -314,6 +365,26 @@ def validate_chrome_trace(payload: Mapping[str, Any]) -> None:
             ):
                 raise SchemaError(
                     f"{where}.dur: X events need a non-negative dur, got {duration!r}"
+                )
+        if event.get("cat") == "lineage":
+            if event["ph"] != _PHASE_COMPLETE:
+                raise SchemaError(
+                    f"{where}: lineage events must be X spans, got "
+                    f"ph={event['ph']!r}"
+                )
+            if event["pid"] != PID_LINEAGE:
+                raise SchemaError(
+                    f"{where}: lineage events belong to pid {PID_LINEAGE}, "
+                    f"got {event['pid']!r}"
+                )
+            if event["name"] not in SPAN_KINDS:
+                raise SchemaError(
+                    f"{where}.name: unknown lineage span kind {event['name']!r}"
+                )
+            args = event.get("args")
+            if not isinstance(args, Mapping) or "rid" not in args:
+                raise SchemaError(
+                    f"{where}.args: lineage events need a 'rid' argument"
                 )
 
 

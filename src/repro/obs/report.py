@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.export import SCHEMA_VERSION, Trace, dumps_line
+from repro.obs.lineage import SPAN_KINDS, waterfall as build_waterfall
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,10 @@ class RunReport:
     episodes: List[Episode] = field(default_factory=list)
     alerts: Dict[str, Any] = field(default_factory=dict)
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    #: lineage sections (schema v3+); None / empty when tracing was off
+    waterfall: Optional[Dict[str, Any]] = None
+    swm_forecast: List[Dict[str, Any]] = field(default_factory=list)
+    lineage_overhead: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -103,6 +108,9 @@ class RunReport:
             "episodes": [e.to_dict() for e in self.episodes],
             "alerts": self.alerts,
             "telemetry": self.telemetry,
+            "waterfall": self.waterfall,
+            "swm_forecast": self.swm_forecast,
+            "lineage_overhead": self.lineage_overhead,
         }
 
     def to_json(self) -> str:
@@ -184,7 +192,77 @@ def build_report(trace: Trace, top_k: int = 10) -> RunReport:
         episodes=episodes,
         alerts=alerts,
         telemetry=telemetry,
+        waterfall=build_waterfall(trace.lineage) if trace.lineage else None,
+        swm_forecast=[dict(row) for row in trace.swm_forecast],
+        lineage_overhead=(
+            dict(trace.lineage_summary) if trace.lineage_summary else None
+        ),
     )
+
+
+def _fmt_opt_ms(value: Any) -> str:
+    return "-" if value is None else f"{float(value):,.1f}"
+
+
+def _waterfall_line(label: str, agg: Dict[str, Any]) -> str:
+    comps = agg.get("components_ms", {})
+    shares = agg.get("shares_pct", {})
+    body = "  ".join(
+        f"{kind}={float(comps.get(kind, 0.0)):,.1f}ms"
+        f"({float(shares.get(kind, 0.0)):.1f}%)"
+        for kind in SPAN_KINDS
+    )
+    return f"  {label:14s} {body}"
+
+
+def _lineage_sections(report: RunReport) -> List[str]:
+    """The waterfall / SWM-forecast / overhead lines of the text report."""
+    lines: List[str] = []
+    if report.waterfall is not None:
+        wf = report.waterfall
+        overall = wf.get("overall", {})
+        lines.append("-- latency waterfall (sampled lineage) --")
+        lines.append(
+            f"  {wf.get('delivered', 0)} delivered of "
+            f"{wf.get('sampled', 0)} sampled; mean end-to-end "
+            f"{float(overall.get('mean_end_to_end_ms', 0.0)):,.1f} ms"
+        )
+        lines.append(_waterfall_line("overall", overall))
+        for row in wf.get("by_query", []):
+            lines.append(_waterfall_line(str(row.get("query_id", "?")), row))
+    if report.swm_forecast:
+        lines.append("-- SWM-forecast accuracy (per source) --")
+        for row in report.swm_forecast:
+            lines.append(
+                f"  {row.get('query_id', '?')}/src{row.get('source_id', '?')}: "
+                f"{row.get('evaluations', 0)} evals over "
+                f"{row.get('deadlines_resolved', 0)} deadlines; "
+                f"mean|err|={_fmt_opt_ms(row.get('mean_abs_error_ms'))}ms "
+                f"p99|err|={_fmt_opt_ms(row.get('p99_abs_error_ms'))}ms "
+                f"naive|err|={_fmt_opt_ms(row.get('naive_mean_abs_error_ms'))}ms "
+                f"episodes over/under="
+                f"{row.get('over_episodes', 0)}/{row.get('under_episodes', 0)}"
+            )
+    if report.lineage_overhead is not None:
+        ov = report.lineage_overhead
+        lines.append(
+            f"-- lineage overhead: {ov.get('rows_sampled', 0)} rows sampled "
+            f"(rate {ov.get('sample_rate', 0)}), "
+            f"{ov.get('span_records', 0)} spans, "
+            f"{ov.get('trace_bytes', 0)} trace bytes --"
+        )
+    return lines
+
+
+def render_waterfall(report: RunReport) -> str:
+    """Only the lineage sections (``repro-bench report --waterfall``)."""
+    lines = _lineage_sections(report)
+    if not lines:
+        return (
+            "no lineage records in this trace; run with "
+            "--lineage-sample-rate > 0 to trace sampled records"
+        )
+    return "\n".join(lines)
 
 
 def _fmt(value: Any, width: int = 10) -> str:
@@ -274,6 +352,7 @@ def render_text(report: RunReport) -> str:
                 else " --"
             )
         )
+    lines.extend(_lineage_sections(report))
     if report.hottest_operators:
         lines.append("-- hottest operators (by simulated CPU-ms) --")
         lines.append(

@@ -121,6 +121,68 @@ ALERT_SCHEMA: Dict[str, Spec] = {
     "value": OPT_NUMBER,
 }
 
+#: one span of a lineage record's causal chain (schema v3+)
+SPAN_SCHEMA: Dict[str, Spec] = {
+    "kind": (str,),
+    "op": (str, type(None)),
+    "start": NUMBER,
+    "end": NUMBER,
+}
+
+#: one sampled-record lineage trace (trace ``type=lineage`` rows, v3+)
+LINEAGE_SCHEMA: Dict[str, Spec] = {
+    "rid": (str,),
+    "query_id": (str,),
+    "source_id": (int,),
+    "t_end": NUMBER,
+    "status": (str,),
+    "completed_at": NUMBER,
+    "end_to_end_ms": NUMBER,
+    "components": (dict,),
+    "spans": ListSpec(SPAN_SCHEMA),
+}
+
+#: one per-source SWM-forecast calibration record (``type=swm_forecast``)
+SWM_FORECAST_SCHEMA: Dict[str, Spec] = {
+    "query_id": (str,),
+    "source_id": (int,),
+    "evaluations": (int,),
+    "deadlines_resolved": (int,),
+    "deadlines_unresolved": (int,),
+    "mean_error_ms": OPT_NUMBER,
+    "mean_abs_error_ms": OPT_NUMBER,
+    "p50_abs_error_ms": OPT_NUMBER,
+    "p90_abs_error_ms": OPT_NUMBER,
+    "p99_abs_error_ms": OPT_NUMBER,
+    "over_predictions": (int,),
+    "under_predictions": (int,),
+    "over_episodes": (int,),
+    "under_episodes": (int,),
+    "naive_evaluations": (int,),
+    "naive_mean_abs_error_ms": OPT_NUMBER,
+    "watermark_period_ms": OPT_NUMBER,
+    "delay_model": (dict, type(None)),
+}
+
+#: lineage self-overhead accounting (``type=lineage_summary``, v3+)
+LINEAGE_SUMMARY_SCHEMA: Dict[str, Spec] = {
+    "sample_rate": NUMBER,
+    "seed": (int,),
+    "rows_sampled": (int,),
+    "span_records": (int,),
+    "statuses": (dict,),
+    "forecast_evaluations": (int,),
+    "trace_bytes": (int,),
+}
+
+#: the latency-waterfall section of the report (null when untraced)
+WATERFALL_SCHEMA: Dict[str, Spec] = {
+    "sampled": (int,),
+    "delivered": (int,),
+    "overall": (dict,),
+    "by_query": ListSpec((dict,)),
+}
+
 #: the alert summary section of the report
 ALERT_SUMMARY_SCHEMA: Dict[str, Spec] = {
     "total": (int,),
@@ -161,6 +223,10 @@ REPORT_SCHEMA: Dict[str, Spec] = {
     "episodes": ListSpec(EPISODE_SCHEMA),
     "alerts": ALERT_SUMMARY_SCHEMA,
     "telemetry": TELEMETRY_SCHEMA,
+    # lineage sections (schema v3+): null / empty when tracing was off
+    "waterfall": (dict, type(None)),
+    "swm_forecast": ListSpec(SWM_FORECAST_SCHEMA),
+    "lineage_overhead": (dict, type(None)),
 }
 
 
@@ -217,3 +283,18 @@ def validate_series(obj: Mapping[str, Any]) -> None:
 def validate_alert(obj: Mapping[str, Any]) -> None:
     """Validate one alert-event record."""
     _check(dict(obj), ALERT_SCHEMA, "$")
+
+
+def validate_lineage(obj: Mapping[str, Any]) -> None:
+    """Validate one sampled-record lineage record."""
+    _check(dict(obj), LINEAGE_SCHEMA, "$")
+
+
+def validate_swm_forecast(obj: Mapping[str, Any]) -> None:
+    """Validate one SWM-forecast calibration record."""
+    _check(dict(obj), SWM_FORECAST_SCHEMA, "$")
+
+
+def validate_lineage_summary(obj: Mapping[str, Any]) -> None:
+    """Validate the lineage self-overhead record."""
+    _check(dict(obj), LINEAGE_SUMMARY_SCHEMA, "$")

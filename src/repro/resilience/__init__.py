@@ -10,8 +10,10 @@ from repro.resilience.checkpoint import (
     CheckpointError,
     CheckpointStore,
     capture,
+    capture_lineage,
     deserialize,
     restore,
+    restore_lineage,
     serialize,
 )
 from repro.resilience.recovery import (
@@ -27,8 +29,10 @@ __all__ = [
     "CheckpointError",
     "CheckpointStore",
     "capture",
+    "capture_lineage",
     "deserialize",
     "restore",
+    "restore_lineage",
     "serialize",
     "STRATEGIES",
     "RecoveryConfig",

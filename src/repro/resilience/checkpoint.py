@@ -56,11 +56,14 @@ from repro.spe.watermarks import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.lineage import LineageTracker
     from repro.spe.engine import Engine
 
 #: checkpoint schema version; bumped on any incompatible layout change
-#: (v2: channels may hold in-flight columnar RecordBatch runs, tag "rb")
-SCHEMA_VERSION = 2
+#: (v2: channels may hold in-flight columnar RecordBatch runs, tag "rb";
+#: v3: a lineage sidecar — capture_lineage/restore_lineage — may ride
+#: alongside a snapshot in the store, never inside the snapshot itself)
+SCHEMA_VERSION = 3
 
 #: RunMetrics scalar fields captured verbatim (the resilience counters —
 #: checkpoints taken, recoveries, lost events — are deliberately absent:
@@ -651,6 +654,55 @@ def restore(engine: "Engine", snapshot: Dict[str, Any], *, mode: str = "resume")
     _restore_metrics(engine.metrics, snapshot["metrics"], mode)
 
 
+def capture_lineage(tracker: "LineageTracker") -> Dict[str, Any]:
+    """Sidecar snapshot of a :class:`~repro.obs.lineage.LineageTracker`.
+
+    In-flight lineage state (sampled records riding queues, records
+    parked on window panes, the completed-record log, and the
+    SWM-forecast audit ledgers) survives checkpoint/restore through this
+    codec pair. The sidecar is deliberately *not* part of the engine
+    snapshot: enabling tracing must leave checkpoint bytes identical to
+    an untraced run, so the store carries it alongside the snapshot.
+    Dict iterations are sorted so equal states encode identically.
+    """
+    return {
+        "inflight": [
+            [list(key), [[rec.encode() for rec in group] for group in groups]]
+            for key, groups in sorted(tracker._inflight.items())
+        ],
+        "window_wait": [
+            [list(key), [rec.encode() for rec in records]]
+            for key, records in sorted(tracker._window_wait.items())
+        ],
+        "completed": [dict(row) for row in tracker._completed],
+        "rows_sampled": tracker.rows_sampled,
+        "spans_recorded": tracker.spans_recorded,
+        "forecast": tracker.forecast.encode(),
+    }
+
+
+def restore_lineage(tracker: "LineageTracker", state: Dict[str, Any]) -> None:
+    """Apply a sidecar captured by :func:`capture_lineage`."""
+    from repro.obs.lineage import _Record
+
+    tracker._inflight = {
+        (str(k[0]), str(k[1]), float(k[2])): deque(
+            [_Record.decode(r) for r in group] for group in groups
+        )
+        for k, groups in state["inflight"]
+    }
+    tracker._window_wait = {
+        (str(k[0]), str(k[1]), float(k[2])): [
+            _Record.decode(r) for r in records
+        ]
+        for k, records in state["window_wait"]
+    }
+    tracker._completed = [dict(row) for row in state["completed"]]
+    tracker.rows_sampled = int(state["rows_sampled"])
+    tracker.spans_recorded = int(state["spans_recorded"])
+    tracker.forecast.restore(state["forecast"])
+
+
 def serialize(snapshot: Dict[str, Any]) -> str:
     """Canonical JSON text: sorted keys, fixed separators, non-finite
     floats as ``Infinity``/``-Infinity``/``NaN`` literals (round-trip
@@ -690,14 +742,28 @@ class CheckpointStore:
             raise ValueError(f"must keep at least one checkpoint: {keep}")
         self.keep = keep
         self._snapshots: List[Dict[str, Any]] = []
+        # lineage sidecars, index-aligned with _snapshots (None when the
+        # engine ran untraced — the common case)
+        self._lineage: List[Optional[Dict[str, Any]]] = []
 
-    def add(self, snapshot: Dict[str, Any]) -> None:
+    def add(
+        self,
+        snapshot: Dict[str, Any],
+        lineage: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self._snapshots.append(snapshot)
+        self._lineage.append(lineage)
         if len(self._snapshots) > self.keep:
-            del self._snapshots[: len(self._snapshots) - self.keep]
+            drop = len(self._snapshots) - self.keep
+            del self._snapshots[:drop]
+            del self._lineage[:drop]
 
     def latest(self) -> Optional[Dict[str, Any]]:
         return self._snapshots[-1] if self._snapshots else None
+
+    def latest_lineage(self) -> Optional[Dict[str, Any]]:
+        """The lineage sidecar captured with the latest snapshot, if any."""
+        return self._lineage[-1] if self._lineage else None
 
     def times(self) -> List[float]:
         return [float(s["time"]) for s in self._snapshots]
@@ -744,6 +810,13 @@ class CheckpointCoordinator:
 
     def _take(self, engine: "Engine") -> None:
         snapshot = capture(engine)
-        self.store.add(snapshot)
+        tracker = getattr(engine, "lineage", None)
+        # The sidecar rides the store but never enters the snapshot, so
+        # checkpoint bytes (and the bytes accounting below) are identical
+        # with tracing on or off.
+        self.store.add(
+            snapshot,
+            lineage=capture_lineage(tracker) if tracker is not None else None,
+        )
         engine.metrics.checkpoints_taken += 1
         engine.metrics.checkpoint_bytes_last = len(serialize(snapshot))

@@ -288,6 +288,14 @@ class RecoveryManager:
                 )
             return None
         checkpoint_mod.restore(engine, snapshot, mode="rollback")
+        tracker = getattr(engine, "lineage", None)
+        if tracker is not None:
+            sidecar = self.coordinator.store.latest_lineage()
+            if sidecar is not None:
+                # Roll the in-flight lineage state back with the stream
+                # state it shadows, so span chains stay consistent with
+                # the replayed records.
+                checkpoint_mod.restore_lineage(tracker, sidecar)
         if engine.invariants is not None:
             engine.invariants.on_rollback(engine)
         return float(snapshot["time"])

@@ -66,6 +66,7 @@ class Engine:
         telemetry=None,
         checkpoints=None,
         recovery=None,
+        lineage=None,
         validate: bool = True,
         batch_size: int = 1,
     ) -> None:
@@ -120,6 +121,8 @@ class Engine:
         #: optional failover recovery (repro.resilience.RecoveryManager);
         #: None keeps the legacy node-failure semantics (lossless pause)
         self.recovery = recovery
+        #: optional sampled per-record causal tracing (repro.obs.LineageTracker)
+        self.lineage = lineage
         self.clock = VirtualClock()
         self.metrics = RunMetrics()
         self._rng = np.random.default_rng(seed)
@@ -139,6 +142,8 @@ class Engine:
             op.stats for q in self.queries for op in q.operators
         ]
         self._register()
+        if lineage is not None:
+            lineage.attach(self)
 
     # -- Sec. 5 framework: register -------------------------------------------
 
@@ -293,6 +298,7 @@ class Engine:
         heappop = heapq.heappop
         query_stalled = self.memory.query_stalled
         metrics = self.metrics
+        lineage = self.lineage
         while network and network[0][0] <= now:
             _, _, query, binding, record = heappop(network)
             qid = query.query_id
@@ -320,11 +326,20 @@ class Engine:
                 if progress is not None:
                     progress.observe_delay(record.delay, record.count)
                 metrics.total_events_ingested += record.count
+                if lineage is not None:
+                    lineage.on_ingested(query, binding, record, now)
             elif type(record) is Watermark:
                 if progress is not None and record.timestamp <= progress.last_watermark_ts:
                     continue  # late watermark: dropped by the SPE (Sec. 2.2)
                 if progress is not None:
-                    progress.observe_watermark(record.timestamp, now)
+                    swm = progress.observe_watermark(record.timestamp, now)
+                    if swm and lineage is not None:
+                        # This watermark finalized a source epoch: it is the
+                        # sweeping watermark the SWM estimator predicted.
+                        lineage.on_swm_ingested(
+                            query.query_id, binding.source_id,
+                            record.timestamp, now,
+                        )
                 binding.channel.push(record, now)
                 binding.watermarks_ingested += 1
             else:  # LatencyMarker
@@ -506,6 +521,8 @@ class Engine:
             self.metrics.invariant_violations = self.invariants.total_violations
         if self.telemetry is not None:
             self.telemetry.finalize(self.metrics, self.clock.now)
+        if self.lineage is not None:
+            self.lineage.finalize(self.clock.now)
         return self.metrics
 
     def _apply_faults(self, now: float) -> bool:

@@ -16,9 +16,28 @@ of study.
 
 from __future__ import annotations
 
+import struct
 from itertools import count as _counter
 
 _marker_ids = _counter()
+
+
+def record_identity(query_id: str, source_id: int, t_end: float) -> bytes:
+    """Stable byte identity of a generated batch's final event.
+
+    Used by the lineage sampler to decide — deterministically across
+    reruns, worker processes, and ``PYTHONHASHSEED`` values — whether a
+    record is traced. The event-time boundary is encoded via its IEEE-754
+    bit pattern (not ``repr``), so two floats compare equal here exactly
+    when they are the same value bit-for-bit.
+    """
+    return (
+        query_id.encode("utf-8")
+        + b"|"
+        + str(source_id).encode("ascii")
+        + b"|"
+        + struct.pack("<d", t_end)
+    )
 
 
 class EventBatch:

@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.spe.events import EventBatch, LatencyMarker, RecordBatch, Watermark
 from repro.spe.streams import _COMPACT_THRESHOLD, Channel, _Entry
 from repro.spe.windows import Pane, WindowAssigner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.lineage import LineageTracker
 
 # Budget below which a step loop stops rather than splitting ever-smaller
 # batch fragments.
@@ -80,6 +83,12 @@ class Operator:
     change data/watermark handling; the budget-accounting loop in
     :meth:`step` is shared.
     """
+
+    #: lineage tracker observer, installed by Engine when tracing is
+    #: enabled; hooks fire on every FULL consumption of a queued record
+    #: (a partially consumed batch keeps its final event queued, so its
+    #: queue span is still open).
+    lineage: Optional["LineageTracker"] = None
 
     def __init__(
         self,
@@ -275,7 +284,11 @@ class Operator:
         operators (multi-input ones use :meth:`_consume_row_turn`).
         Returns the updated ``used``.
         """
-        if self._stateless_row:
+        if self._stateless_row and self.lineage is None:
+            # Fusion skips the per-row _on_row calls the lineage hooks
+            # piggyback on; fused and unfused execution are byte-identical
+            # (proven by the equivalence gate), so tracing simply takes
+            # the unfused path.
             output = self.output
             if (
                 output is not None
@@ -294,6 +307,7 @@ class Operator:
         stats = self.stats
         input_index = channel._consumer_index
         on_row = self._on_row
+        lineage = self.lineage
         # Channel accounting hoisted into locals: the same additions in
         # the same order, written back after the loop. _on_row never
         # touches its own input channel's accounting (outputs are a
@@ -324,6 +338,11 @@ class Operator:
                 ev_in += count
                 busy += full_cost
                 on_row(rb, i, count, input_index, now)
+                if lineage is not None:
+                    lineage.on_consumed(
+                        self, rb.t_starts[i], rb.t_ends[i],
+                        rb.enqueued_ats[i], channel, now,
+                    )
                 used += full_cost
                 i += 1
                 continue
@@ -562,6 +581,11 @@ class Operator:
             stats.events_in += count
             stats.busy_ms += full_cost
             self._on_row(rb, i, count, channel._consumer_index, now)
+            if self.lineage is not None:
+                self.lineage.on_consumed(
+                    self, rb.t_starts[i], rb.t_ends[i],
+                    rb.enqueued_ats[i], channel, now,
+                )
             i += 1
             rb.head = i
             if i >= len(counts):
@@ -638,6 +662,10 @@ class Operator:
             self.stats.events_in += batch.count
             self.stats.busy_ms += full_cost
             self._on_batch(batch, channel._consumer_index, now)
+            if self.lineage is not None:
+                self.lineage.on_consumed(
+                    self, batch.t_start, batch.t_end, enqueued_at, channel, now
+                )
             return full_cost
         # Budget covers only part of the batch: process the affordable
         # fraction, return the remainder to the head of the queue.
@@ -1002,6 +1030,7 @@ class _WindowedOperatorBase(Operator):
         if not heap or heap[0][0] > up_to:
             return False
         self._state_events_memo = None
+        lineage = self.lineage
         while heap and heap[0][0] <= up_to:
             end, start = heapq.heappop(heap)
             del self._pane_ends[start]
@@ -1021,6 +1050,8 @@ class _WindowedOperatorBase(Operator):
                     ),
                     now,
                 )
+            if lineage is not None:
+                lineage.on_pane_fire(self, end, out_count, now)
         return True
 
     def _pane_output_count(self, buffered: float) -> float:

@@ -229,6 +229,20 @@ class Channel:
 
     # -- introspection -----------------------------------------------------
 
+    def transfer_interval(self, enqueued_at: float) -> Optional[tuple]:
+        """``(push_time, arrival)`` of a record's cross-node transfer.
+
+        For a latency channel, a record enqueued (arrived) at
+        ``enqueued_at`` was pushed ``latency_ms`` earlier — the interval is
+        the *emit* leg of the lineage waterfall. Local channels transfer
+        instantaneously and return ``None``. Pure arithmetic over the
+        channel's fixed latency; shares its boundary floats with the
+        adjacent queue span so the lineage chain stays exactly contiguous.
+        """
+        if self.latency_ms <= 0.0:
+            return None
+        return (enqueued_at - self.latency_ms, enqueued_at)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -69,6 +69,32 @@ class WindowAssigner(abc.ABC):
             for pane, c in self.assign_range(t_start, t_end, count)
         ]
 
+    def final_event_pane(
+        self, t_start: float, t_end: float
+    ) -> Tuple[float, float] | None:
+        """``(start, end)`` of the first-closing pane containing the batch's
+        final event (the one with event-time ``t_end``).
+
+        The lineage tracker follows a sampled batch's *last* event through
+        window state: the event leaves the operator with the earliest pane
+        that contains it, which for sliding windows is the pane with the
+        smallest end among those covering ``t_end``. Point batches
+        (``t_start == t_end``, e.g. pane-fire outputs) are assigned by the
+        per-event rule. Returns ``None`` for assigners without event-time
+        panes (count windows).
+        """
+        if t_end - t_start < 1e-9:
+            panes = self.assign(t_end)
+            if not panes:
+                return None
+            best = min(panes, key=lambda p: p.end)
+            return (best.start, best.end)
+        candidate: Tuple[float, float] | None = None
+        for start, end, c in self.assign_range_raw(t_start, t_end, 1.0):
+            if c > 0 and end >= t_end and (candidate is None or end < candidate[1]):
+                candidate = (start, end)
+        return candidate
+
 
 class SlidingEventTimeWindows(WindowAssigner):
     """Sliding event-time windows of ``size`` every ``slide`` milliseconds.
@@ -218,3 +244,10 @@ class CountWindows(WindowAssigner):
         self, t_start: float, t_end: float, count: float
     ) -> List[Tuple[Pane, float]]:
         raise TypeError("count windows assign by arrival order, not time")
+
+    def final_event_pane(
+        self, t_start: float, t_end: float
+    ) -> Tuple[float, float] | None:
+        # Count windows close by arrival order: there is no event-time pane
+        # a lineage chain could deterministically wait on.
+        return None

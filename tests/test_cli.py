@@ -161,7 +161,7 @@ class TestReportCommand:
         out_path = tmp_path / "report.json"
         assert main(self._run_args("--out", str(out_path))) == 0
         payload = json.loads(out_path.read_text())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
 
     def test_save_trace_while_reporting(self, tmp_path, capsys):
         trace = tmp_path / "trace.jsonl"

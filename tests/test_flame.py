@@ -13,6 +13,7 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.obs.flame import (
+    PID_LINEAGE,
     PID_OPERATORS,
     PID_SCHEDULER,
     PID_TELEMETRY,
@@ -178,3 +179,82 @@ class TestTracerExport:
         )
         assert trace.cycles[0]["mode"] == "memory"
         assert trace.meta["cycle_ms"] == 100.0
+
+
+def lineage_rows():
+    return [
+        {
+            "rid": "q0:0:100.0", "query_id": "q0", "source_id": 0,
+            "t_end": 100.0, "status": "delivered", "completed_at": 400.0,
+            "end_to_end_ms": 300.0,
+            "components": {"network": 50.0, "queue": 100.0, "execute": 0.0,
+                           "window": 150.0, "emit": 0.0},
+            "spans": [
+                {"kind": "network", "op": None, "start": 100.0, "end": 150.0},
+                {"kind": "queue", "op": "q0.agg", "start": 150.0, "end": 250.0},
+                {"kind": "execute", "op": "q0.agg", "start": 250.0, "end": 250.0},
+                {"kind": "window", "op": "q0.agg", "start": 250.0, "end": 400.0},
+            ],
+        },
+    ]
+
+
+class TestLineageWaterfalls:
+    def test_lineage_spans_export_and_validate(self):
+        trace = sample_trace()
+        trace.lineage = lineage_rows()
+        payload = chrome_trace_events(trace)
+        validate_chrome_trace(payload)
+        spans = [e for e in payload["traceEvents"] if e.get("cat") == "lineage"]
+        assert [e["name"] for e in spans] == [
+            "network", "queue", "execute", "window",
+        ]
+        assert all(e["pid"] == PID_LINEAGE for e in spans)
+        assert all(e["args"]["rid"] == "q0:0:100.0" for e in spans)
+        # back-to-back stacking: each span starts where the previous ended
+        for prev, nxt in zip(spans, spans[1:]):
+            assert prev["ts"] + prev["dur"] == nxt["ts"]
+        names = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["pid"] == PID_LINEAGE
+        ]
+        assert any(e["args"]["name"] == "lineage waterfalls" for e in names)
+        assert any("[delivered]" in str(e["args"].get("name")) for e in names)
+
+    def test_untraced_run_has_no_lineage_process(self):
+        payload = chrome_trace_events(sample_trace())
+        assert not any(
+            e.get("pid") == PID_LINEAGE for e in payload["traceEvents"]
+        )
+
+    def test_validator_rejects_wrong_phase(self):
+        bad = {"traceEvents": [
+            {"name": "queue", "cat": "lineage", "ph": "i", "ts": 0.0,
+             "pid": PID_LINEAGE, "tid": 0, "args": {"rid": "r"}}
+        ]}
+        with pytest.raises(SchemaError, match="X spans"):
+            validate_chrome_trace(bad)
+
+    def test_validator_rejects_wrong_pid(self):
+        bad = {"traceEvents": [
+            {"name": "queue", "cat": "lineage", "ph": "X", "ts": 0.0,
+             "dur": 1.0, "pid": 0, "tid": 0, "args": {"rid": "r"}}
+        ]}
+        with pytest.raises(SchemaError, match="pid"):
+            validate_chrome_trace(bad)
+
+    def test_validator_rejects_unknown_span_kind(self):
+        bad = {"traceEvents": [
+            {"name": "gc-pause", "cat": "lineage", "ph": "X", "ts": 0.0,
+             "dur": 1.0, "pid": PID_LINEAGE, "tid": 0, "args": {"rid": "r"}}
+        ]}
+        with pytest.raises(SchemaError, match="span kind"):
+            validate_chrome_trace(bad)
+
+    def test_validator_requires_rid_argument(self):
+        bad = {"traceEvents": [
+            {"name": "queue", "cat": "lineage", "ph": "X", "ts": 0.0,
+             "dur": 1.0, "pid": PID_LINEAGE, "tid": 0, "args": {}}
+        ]}
+        with pytest.raises(SchemaError, match="rid"):
+            validate_chrome_trace(bad)

@@ -1,0 +1,484 @@
+"""Event-lineage tracing and SWM-forecast audit (ISSUE 9 tentpole).
+
+The contract under test:
+
+* sampling is keyed-hash-deterministic (same seed -> same records,
+  across reruns), monotone in the rate, and off by default;
+* for every completed record the five waterfall components sum to the
+  end-to-end latency *exactly* (shared span boundaries, closed
+  virtual-clock arithmetic);
+* tracing is a pure observer: summaries, audit trails, and checkpoint
+  bytes are byte-identical with tracing on and off;
+* in-flight lineage state survives the checkpoint codec and a real
+  failover (restart recovery) run;
+* Klink's SWM-arrival estimate is better calibrated than the naive
+  last-period predictor on YSB;
+* v1/v2 traces (checked-in fixtures) still read; a corrupt lineage
+  record fails loudly with file:line context.
+"""
+
+import json
+import os
+from collections import deque
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.bench.runner import (
+    ExperimentConfig,
+    run_experiment,
+    trace_from_result,
+)
+from repro.cli import main
+from repro.faults import FaultPlan, NodeFailure
+from repro.obs import (
+    RECORD_STATUSES,
+    SPAN_KINDS,
+    LineageTracker,
+    SwmForecastAudit,
+    build_report,
+    read_trace,
+    render_text,
+    render_waterfall,
+    validate_lineage,
+    validate_lineage_summary,
+    validate_report,
+    validate_swm_forecast,
+    waterfall,
+)
+from repro.obs.lineage import _Record
+from repro.resilience import capture_lineage, restore_lineage
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+BASE = ExperimentConfig(
+    workload="ysb",
+    scheduler="Klink",
+    n_queries=3,
+    duration_ms=8_000.0,
+    seed=3,
+)
+
+
+def traced(rate=1.0, **kw):
+    return run_experiment(replace(BASE, lineage_sample_rate=rate, **kw))
+
+
+class TestSampling:
+    def test_off_by_default(self):
+        res = run_experiment(BASE)
+        assert res.config.lineage_sample_rate == 0.0
+        assert res.lineage is None
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            LineageTracker(-0.1)
+        with pytest.raises(ValueError):
+            LineageTracker(1.5)
+
+    def test_decisions_deterministic_across_instances(self):
+        a = LineageTracker(0.25, seed=9)
+        b = LineageTracker(0.25, seed=9)
+        points = [("q0", 0, float(t)) for t in range(0, 5000, 10)]
+        assert [a.sampled(*p) for p in points] == [b.sampled(*p) for p in points]
+        hits = sum(a.sampled(*p) for p in points)
+        assert 0 < hits < len(points)
+
+    def test_seed_changes_the_sample(self):
+        a = LineageTracker(0.25, seed=1)
+        b = LineageTracker(0.25, seed=2)
+        points = [("q0", 0, float(t)) for t in range(0, 5000, 10)]
+        assert [a.sampled(*p) for p in points] != [b.sampled(*p) for p in points]
+
+    def test_rate_monotone_and_extremes(self):
+        lo = LineageTracker(0.05, seed=4)
+        hi = LineageTracker(0.5, seed=4)
+        none = LineageTracker(0.0, seed=4)
+        everything = LineageTracker(1.0, seed=4)
+        for t in range(0, 3000, 7):
+            p = ("q1", 2, float(t))
+            if lo.sampled(*p):
+                assert hi.sampled(*p)  # threshold scheme nests samples
+            assert not none.sampled(*p)
+            assert everything.sampled(*p)
+
+
+class TestWaterfallExactness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return traced(rate=1.0).lineage.lineage_rows()
+
+    def test_every_record_closes(self, rows):
+        assert rows, "rate 1.0 must sample records"
+        for row in rows:
+            assert row["status"] in RECORD_STATUSES
+            validate_lineage(json.loads(json.dumps(row)))
+
+    def test_components_sum_exactly(self, rows):
+        for row in rows:
+            assert sum(row["components"].values()) == row["end_to_end_ms"]
+            assert set(row["components"]) == set(SPAN_KINDS)
+
+    def test_span_chain_is_contiguous(self, rows):
+        for row in rows:
+            spans = row["spans"]
+            assert spans[0]["kind"] == "network"
+            assert spans[0]["start"] == row["t_end"]
+            assert spans[-1]["end"] == row["completed_at"]
+            for prev, nxt in zip(spans, spans[1:]):
+                assert prev["end"] == nxt["start"]
+
+    def test_delivered_records_exist_and_aggregate(self, rows):
+        agg = waterfall(rows)
+        assert agg["sampled"] == len(rows)
+        assert agg["delivered"] > 0
+        shares = agg["overall"]["shares_pct"]
+        assert abs(sum(shares.values()) - 100.0) < 1e-9
+        assert {r["query_id"] for r in agg["by_query"]} <= {
+            f"ysb-{i}" for i in range(BASE.n_queries)
+        }
+
+
+class TestPureObserver:
+    """Tracing must not perturb the simulation in any observable way."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        kw = dict(audit=True, telemetry=True, checkpoint_period_ms=3_000.0)
+        plain = run_experiment(replace(BASE, **kw))
+        sampled = run_experiment(
+            replace(BASE, lineage_sample_rate=0.5, **kw)
+        )
+        return plain, sampled
+
+    def test_summary_byte_identical(self, pair):
+        plain, sampled = pair
+        assert json.dumps(plain.summary, sort_keys=True) == json.dumps(
+            sampled.summary, sort_keys=True
+        )
+
+    def test_audit_trail_byte_identical(self, pair):
+        plain, sampled = pair
+        assert plain.audit.to_jsonl_str() == sampled.audit.to_jsonl_str()
+
+    def test_checkpoint_bytes_identical(self, pair):
+        plain, sampled = pair
+        assert plain.metrics.checkpoints_taken > 0
+        assert (
+            plain.metrics.checkpoints_taken
+            == sampled.metrics.checkpoints_taken
+        )
+        assert (
+            plain.metrics.checkpoint_bytes_last
+            == sampled.metrics.checkpoint_bytes_last
+        )
+
+    def test_rerun_reproduces_lineage(self):
+        a = traced(rate=0.3)
+        b = traced(rate=0.3)
+        assert a.lineage.lineage_rows() == b.lineage.lineage_rows()
+        assert a.lineage.swm_forecast_rows() == b.lineage.swm_forecast_rows()
+        sa, sb = a.lineage.summary_row(), b.lineage.summary_row()
+        assert sa == sb
+        assert sa["rows_sampled"] == len(a.lineage.lineage_rows())
+
+
+class TestCheckpointCodec:
+    def _populated_tracker(self):
+        tracker = LineageTracker(0.5, seed=2)
+        rec = _Record("q0:0:100.0", "q0", 0, 100.0)
+        rec.spans.append(("network", None, 100.0, 130.0))
+        tracker._inflight = {("q0", "agg", 100.0): deque([[rec]])}
+        parked = _Record("q0:0:200.0", "q0", 0, 200.0)
+        parked.absorbed_at = 230.0
+        parked.spans.append(("network", None, 200.0, 230.0))
+        tracker._window_wait = {("q0", "agg", 1000.0): [parked]}
+        tracker.rows_sampled = 2
+        tracker.spans_recorded = 0
+        tracker.forecast.on_prediction(
+            "q0",
+            0,
+            SimpleNamespace(deadline=1_000.0, mean=940.0),
+            SimpleNamespace(progress=None, spec=None),
+            500.0,
+        )
+        return tracker
+
+    def test_capture_restore_round_trip(self):
+        tracker = self._populated_tracker()
+        state = capture_lineage(tracker)
+        # the codec state must be JSON-serializable (rides the snapshot store)
+        state = json.loads(json.dumps(state))
+        fresh = LineageTracker(0.5, seed=2)
+        restore_lineage(fresh, state)
+        assert capture_lineage(fresh) == capture_lineage(tracker)
+        assert fresh.rows_sampled == 2
+        assert list(fresh._inflight) == [("q0", "agg", 100.0)]
+        restored = fresh._inflight[("q0", "agg", 100.0)][0][0]
+        assert restored.spans == [("network", None, 100.0, 130.0)]
+        assert fresh._window_wait[("q0", "agg", 1000.0)][0].absorbed_at == 230.0
+        assert fresh.forecast.evaluations == 1
+
+    def test_end_of_run_tracker_round_trips(self):
+        res = traced(rate=1.0, duration_ms=5_000.0)
+        tracker = res.lineage
+        fresh = LineageTracker(tracker.sample_rate, seed=tracker.seed)
+        restore_lineage(fresh, capture_lineage(tracker))
+        assert fresh.lineage_rows() == tracker.lineage_rows()
+        assert fresh.rows_sampled == tracker.rows_sampled
+        assert fresh.spans_recorded == tracker.spans_recorded
+        assert fresh.forecast.evaluations == tracker.forecast.evaluations
+
+
+def _seed_with_node_failure(duration_ms, query_ids):
+    for seed in range(80):
+        plan = FaultPlan.random(seed, duration_ms, query_ids=query_ids)
+        if any(
+            isinstance(f, NodeFailure) and f.end_ms <= duration_ms - 1_000.0
+            for f in plan
+        ):
+            return seed
+    raise AssertionError("no node-failure seed found in range")
+
+
+class TestFailoverWithLineage:
+    def test_lineage_survives_restart_recovery(self):
+        duration = 20_000.0
+        ids = [f"ysb-{i}" for i in range(3)]
+        seed = _seed_with_node_failure(duration, ids)
+        kw = dict(
+            duration_ms=duration,
+            fault_seed=seed,
+            checkpoint_period_ms=3_000.0,
+            recover="restart",
+        )
+        plain = run_experiment(replace(BASE, **kw))
+        sampled = run_experiment(replace(BASE, lineage_sample_rate=0.3, **kw))
+        assert plain.metrics.recoveries >= 1
+        # observer contract holds across rollback + replay
+        assert json.dumps(plain.summary, sort_keys=True) == json.dumps(
+            sampled.summary, sort_keys=True
+        )
+        rows = sampled.lineage.lineage_rows()
+        assert rows
+        for row in rows:
+            assert sum(row["components"].values()) == row["end_to_end_ms"]
+
+
+class TestSwmForecastAudit:
+    def _binding(self, last_ingest=None, period=500.0):
+        progress = (
+            None
+            if last_ingest is None
+            else SimpleNamespace(last_swm_ingest_time=last_ingest)
+        )
+        return SimpleNamespace(
+            progress=progress,
+            spec=SimpleNamespace(watermark_period_ms=period),
+        )
+
+    def test_prediction_resolution_and_errors(self):
+        audit = SwmForecastAudit()
+        audit.register_source("q0", 0, 500.0, {"kind": "constant"})
+        est = SimpleNamespace(deadline=1_000.0, mean=1_180.0)
+        audit.on_prediction("q0", 0, est, self._binding(700.0), 900.0)
+        audit.on_actual("q0", 0, 1_000.0, 1_150.0)
+        (row,) = audit.rows()
+        assert row["evaluations"] == 1
+        assert row["deadlines_resolved"] == 1
+        assert row["mean_error_ms"] == 1_180.0 - 1_150.0  # over-prediction
+        assert row["naive_mean_abs_error_ms"] == abs(700.0 + 500.0 - 1_150.0)
+        assert row["over_predictions"] == 1
+        assert row["watermark_period_ms"] == 500.0
+
+    def test_unswept_deadlines_stay_pending(self):
+        audit = SwmForecastAudit()
+        est = SimpleNamespace(deadline=2_000.0, mean=2_100.0)
+        audit.on_prediction("q0", 0, est, self._binding(), 900.0)
+        audit.on_actual("q0", 0, 1_000.0, 1_100.0)  # SWM below the deadline
+        (row,) = audit.rows()
+        assert row["evaluations"] == 0
+        assert row["deadlines_unresolved"] == 1
+        assert row["mean_abs_error_ms"] is None
+
+    def test_episode_runs_count_sign_flips(self):
+        audit = SwmForecastAudit()
+        # four deadlines resolving to errors +, +, -, +  -> 2 over / 1 under
+        for deadline, mean, now in [
+            (1_000.0, 1_050.0, 1_010.0),
+            (2_000.0, 2_060.0, 2_010.0),
+            (3_000.0, 2_980.0, 3_010.0),
+            (4_000.0, 4_100.0, 4_010.0),
+        ]:
+            est = SimpleNamespace(deadline=deadline, mean=mean)
+            audit.on_prediction("q0", 0, est, self._binding(), now - 100.0)
+            audit.on_actual("q0", 0, deadline, now)
+        (row,) = audit.rows()
+        assert row["deadlines_resolved"] == 4
+        assert row["over_episodes"] == 2
+        assert row["under_episodes"] == 1
+
+    def test_klink_beats_naive_on_ysb(self):
+        res = traced(rate=0.02, n_queries=2, duration_ms=30_000.0)
+        rows = res.lineage.swm_forecast_rows()
+        comparable = [
+            r
+            for r in rows
+            if r["mean_abs_error_ms"] is not None
+            and r["naive_mean_abs_error_ms"] is not None
+        ]
+        assert comparable, "30s YSB run must resolve naive-comparable deadlines"
+        for row in comparable:
+            assert row["mean_abs_error_ms"] < row["naive_mean_abs_error_ms"]
+            validate_swm_forecast(json.loads(json.dumps(row)))
+
+
+class TestTraceAndReport:
+    @pytest.fixture(scope="class")
+    def traced_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("lineage") / "trace.jsonl")
+        traced(
+            rate=0.5,
+            audit=True,
+            profile=True,
+            telemetry=True,
+            trace_path=path,
+        )
+        return path
+
+    def test_round_trip_and_overhead_accounting(self, traced_path):
+        trace = read_trace(traced_path)
+        assert trace.schema_version == 3
+        assert trace.lineage and trace.swm_forecast and trace.lineage_summary
+        summary = trace.lineage_summary
+        validate_lineage_summary(json.loads(json.dumps(summary)))
+        assert summary["rows_sampled"] == len(trace.lineage)
+        assert summary["trace_bytes"] > 0
+        # trace_bytes is exactly the on-disk footprint of lineage rows
+        byte_count = sum(
+            len(line.encode("utf-8")) + 1
+            for line in (
+                json.dumps(
+                    {"type": kind, **row}, separators=(",", ":")
+                )
+                for kind, rows in (
+                    ("lineage", trace.lineage),
+                    ("swm_forecast", trace.swm_forecast),
+                )
+                for row in rows
+            )
+        )
+        assert summary["trace_bytes"] == byte_count
+
+    def test_report_sections(self, traced_path):
+        report = build_report(read_trace(traced_path))
+        validate_report(json.loads(report.to_json()))
+        assert report.waterfall is not None
+        assert report.swm_forecast
+        assert report.lineage_overhead is not None
+        text = render_text(report)
+        assert "latency waterfall" in text
+        assert "SWM-forecast accuracy" in text
+        assert "lineage overhead" in text
+        focused = render_waterfall(report)
+        assert "latency waterfall" in focused
+        assert "hottest operators" not in focused
+
+    def test_waterfall_view_without_lineage(self):
+        res = run_experiment(replace(BASE, audit=True, profile=True))
+        report = build_report(trace_from_result(res))
+        assert report.waterfall is None
+        assert "--lineage-sample-rate" in render_waterfall(report)
+
+
+class TestSchemaCompat:
+    """Satellite: v1/v2 traces written before the v3 bump still load."""
+
+    @pytest.mark.parametrize("name,version", [
+        ("trace_v1.jsonl", 1),
+        ("trace_v2.jsonl", 2),
+    ])
+    def test_old_traces_read_and_report(self, name, version):
+        trace = read_trace(os.path.join(FIXTURES, name))
+        assert trace.schema_version == version
+        assert trace.cycles and trace.summary
+        assert trace.lineage == [] and trace.swm_forecast == []
+        assert trace.lineage_summary == {}
+        report = build_report(trace)
+        validate_report(json.loads(report.to_json()))
+        assert report.waterfall is None
+
+    @pytest.mark.parametrize("name", ["trace_v1.jsonl", "trace_v2.jsonl"])
+    def test_old_traces_pass_check_schema(self, name, capsys):
+        rc = main([
+            "report", "--trace", os.path.join(FIXTURES, name),
+            "--check-schema", "--format", "json",
+        ])
+        assert rc == 0
+        assert "[schema] OK" in capsys.readouterr().err
+
+    def test_corrupt_lineage_record_fails_with_location(self, capsys):
+        path = os.path.join(FIXTURES, "trace_v3_corrupt.jsonl")
+        with pytest.raises(ValueError) as exc:
+            read_trace(path)
+        message = str(exc.value)
+        assert "corrupt lineage record" in message
+        assert "trace_v3_corrupt.jsonl:" in message  # file:line context
+        rc = main(["report", "--trace", path])
+        assert rc == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestCli:
+    def test_run_flag_defaults_off(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run"])
+        assert args.lineage_sample_rate == 0.0
+
+    def test_run_with_sampling(self, capsys):
+        rc = main([
+            "run", "--workload", "ysb", "--scheduler", "Klink",
+            "--queries", "2", "--duration", "6", "--cores", "4",
+            "--lineage-sample-rate", "1.0",
+        ])
+        assert rc == 0
+        assert "Klink" in capsys.readouterr().out
+
+    def test_report_waterfall_view(self, capsys):
+        rc = main([
+            "report", "--workload", "ysb", "--queries", "2",
+            "--duration", "8", "--seed", "3",
+            "--lineage-sample-rate", "1.0", "--waterfall",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency waterfall" in out
+        assert "hottest operators" not in out
+
+    def test_report_waterfall_without_lineage_hints(self, capsys):
+        rc = main([
+            "report", "--workload", "ysb", "--queries", "2",
+            "--duration", "6", "--waterfall",
+        ])
+        assert rc == 0
+        assert "--lineage-sample-rate" in capsys.readouterr().out
+
+    def test_check_schema_covers_lineage_records(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        traced(
+            rate=0.5,
+            n_queries=2,
+            duration_ms=6_000.0,
+            audit=True,
+            profile=True,
+            telemetry=True,
+            trace_path=path,
+        )
+        rc = main([
+            "report", "--trace", path, "--check-schema", "--format", "json",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[schema] OK" in err and "lineage records" in err

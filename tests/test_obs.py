@@ -194,8 +194,9 @@ class TestAuditLog:
         audit, _, _ = run_audited(KlinkScheduler())
         assert sum(audit.head_query_counts().values()) == len(audit)
 
-    def test_mode_episodes_from_flags(self):
-        audit = AuditLog(max_rows=10)
+    @staticmethod
+    def _feed_flags(audit, flags, throttles=None):
+        """Drive on_cycle with (backpressured, throttled) flag sequences."""
 
         class Stub:
             name = "stub"
@@ -205,13 +206,70 @@ class TestAuditLog:
 
         q = make_simple_query("q0")
         ctx = SchedulerContext(now=0.0, cycle_ms=100.0, cores=1, queries=[q])
-        for i, bp in enumerate([False, True, True, False]):
+        throttles = throttles or [False] * len(flags)
+        for i, (bp, thr) in enumerate(zip(flags, throttles)):
             audit.on_cycle(
                 time=float(i * 100), cycle=i, scheduler=Stub(), ctx=ctx,
-                plan=Plan([Allocation(q)]), backpressured=bp,
-                cpu_used_ms=0.0, overhead_ms=0.0,
+                plan=Plan([Allocation(q)], throttle_ingestion=thr),
+                backpressured=bp, cpu_used_ms=0.0, overhead_ms=0.0,
             )
+        return audit
+
+    def test_mode_episodes_from_flags(self):
+        audit = self._feed_flags(
+            AuditLog(max_rows=10), [False, True, True, False]
+        )
         assert audit.mode_episodes() == [(100.0, 200.0, "backpressure")]
+
+    def test_mode_episode_open_at_end_of_run_is_closed(self):
+        """An episode still active at the last retained record must be
+        emitted, closed at that record's time (not silently dropped)."""
+        audit = self._feed_flags(
+            AuditLog(max_rows=10), [False, True, True]
+        )
+        assert audit.mode_episodes() == [(100.0, 200.0, "backpressure")]
+        # degenerate single-cycle episode at the very end
+        audit = self._feed_flags(AuditLog(max_rows=10), [False, False, True])
+        assert audit.mode_episodes() == [(200.0, 200.0, "backpressure")]
+
+    def test_mode_episodes_overlapping_kinds_are_separate_spans(self):
+        audit = self._feed_flags(
+            AuditLog(max_rows=10),
+            [False, True, True, False],
+            throttles=[False, False, True, True],
+        )
+        assert audit.mode_episodes() == [
+            (100.0, 200.0, "backpressure"),
+            (200.0, 300.0, "throttle"),
+        ]
+
+    def test_mode_episodes_after_max_rows_eviction(self):
+        """With max_rows smaller than the run, episodes are computed over
+        the retained window only: an episode whose start was evicted is
+        reported from the earliest retained record, and a disk stream
+        attached to the log still sees every record."""
+        rows = []
+
+        class ListStream:
+            def write(self, row):
+                rows.append(row)
+
+        flags = [True, True, False, False, True, True]
+        audit = self._feed_flags(
+            AuditLog(max_rows=3, stream=ListStream()), flags
+        )
+        assert len(audit) == 3  # memory stays bounded
+        assert audit.records_seen == len(flags)
+        assert len(rows) == len(flags)  # stream kept the evicted records
+        # retained window is cycles 3..5 -> only the trailing episode,
+        # closed at the final retained record
+        assert audit.mode_episodes() == [(400.0, 500.0, "backpressure")]
+        # a full-history log over the same flags sees the evicted episode
+        full = self._feed_flags(AuditLog(max_rows=50), flags)
+        assert full.mode_episodes() == [
+            (0.0, 100.0, "backpressure"),
+            (400.0, 500.0, "backpressure"),
+        ]
 
 
 class TestOperatorProfiler:
@@ -303,7 +361,7 @@ class TestTraceContainer:
         )
         trace = read_trace(str(path))
         assert trace.meta["workload"] == "ysb"
-        assert trace.meta["schema_version"] == 2
+        assert trace.meta["schema_version"] == 3
         assert len(trace.cycles) == 1 and trace.cycles[0]["cycle"] == 0
         assert trace.operators[0]["name"] == "q0.map"
         assert trace.chains[0]["query_id"] == "q0"

@@ -268,7 +268,7 @@ class TestTraceV2RoundTrip:
             summary={"cycles": 1},
         )
         trace = read_trace(str(path))
-        assert trace.schema_version == 2
+        assert trace.schema_version == 3
         assert trace.series[0]["name"] == "q"
         assert trace.alerts[0]["rule"] == "r"
 
