@@ -5,7 +5,7 @@ JOBS ?= 4
 export PYTHONPATH := src
 
 .PHONY: test lint statecheck mypy check-plan check-report check-telemetry \
-	check perf bench bench-parallel
+	check perf perf-profile bench bench-parallel
 
 test:
 	$(PY) -m pytest -x -q
@@ -61,6 +61,12 @@ perf:
 	$(PY) -m repro.cli perf --repeats 3 \
 		--out benchmarks/results/BENCH_perf.json
 	$(PY) -m repro.cli compare --check benchmarks/results/BENCH_perf.json
+
+# Per-phase breakdown of the cycle kernel (generate / deliver /
+# schedule / execute / drain) on the perf grid; diagnostic only, no
+# baseline refresh.
+perf-profile:
+	$(PY) -m repro.cli perf --repeats 1 --profile
 
 # Figure suite, serial vs. fanned out over $(JOBS) worker processes.
 # Both share the persistent cache in .bench_cache/ (REPRO_BENCH_NO_CACHE=1

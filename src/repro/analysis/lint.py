@@ -31,6 +31,14 @@ constructs that silently break it:
            ``time.perf_counter``, ``time.process_time``, ...): interval
            timers measure host time, not simulated time, so any value
            derived from them varies across machines and runs.
+ KL007     per-element ``.sample()`` delay draws inside a loop (engine
+           code under ``repro/spe/`` only): the vectorized cycle kernel
+           draws a horizon's delays through ``sample_batch`` /
+           ``sample_amortized``, whose value streams are pinned
+           bit-identical to sequential ``sample()`` calls — a stray
+           scalar draw loop silently forfeits that batching. The alias
+           form (``sample = model.sample`` ... ``sample()``) is caught
+           too. Deliberate scalar paths carry the inline pragma.
 ========  ==============================================================
 
 A finding on a given line is suppressed with an inline pragma on that
@@ -80,6 +88,14 @@ RULES: Dict[str, str] = {
     "KL004": "id()-based ordering (ids are allocation addresses)",
     "KL005": "float accumulation into watermark/slack state (derive from an integer step count)",
     "KL006": "monotonic/interval timer access (host time leaks into simulated values)",
+    "KL007": "per-element .sample() delay draw in a loop (batch via sample_batch/sample_amortized)",
+}
+
+#: rules active only under a path fragment; everywhere else they are
+#: suppressed at the file level (KL007 polices engine code — the delay
+#: models themselves, tests, and tooling legitimately draw one-by-one)
+RULE_SCOPES: Dict[str, str] = {
+    "KL007": "spe/",
 }
 
 #: files (matched by path suffix) with rules that are allowed inside them
@@ -158,6 +174,12 @@ class _LintVisitor(ast.NodeVisitor):
         # import alias -> dotted module path ("np" -> "numpy",
         # "pc" -> "time.perf_counter" for from-imports)
         self._aliases: Dict[str, str] = {}
+        # KL007 state: current for/while nesting depth, and local names
+        # bound from an expression containing a ``.sample`` attribute
+        # (``sample = spec.delay_model.sample``) — calling such a name in
+        # a loop is the aliased form of a per-element draw.
+        self._loop_depth = 0
+        self._sample_aliases: set = set()
 
     # -- helpers -----------------------------------------------------------
 
@@ -212,6 +234,61 @@ class _LintVisitor(ast.NodeVisitor):
             self._check_randomness(node, path)
             self._check_order_consumer(node, path)
             self._check_id_sort_key(node, path)
+        self._check_sample_in_loop(node)
+        self.generic_visit(node)
+
+    # -- KL007: per-element delay draws in loops ----------------------------
+
+    def _check_sample_in_loop(self, node: ast.Call) -> None:
+        if self._loop_depth == 0:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr != "sample":
+                return
+        elif isinstance(func, ast.Name):
+            if func.id not in self._sample_aliases:
+                return
+        else:
+            return
+        self._flag(
+            node,
+            "KL007",
+            "per-element .sample() draw inside a loop: draw the horizon's "
+            "delays through sample_batch()/sample_amortized() (bit-identical "
+            "by the pinned batching contract) or mark a deliberate scalar "
+            "path with `# klink: allow[KL007]`",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag_set_iteration(node.iter)
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Record names bound from a ``.sample``-bearing expression; the
+        # bound-method alias (also via a conditional expression choosing
+        # between sample variants) is the pattern the engine's generator
+        # uses, and exactly what a loop later calls.
+        if any(
+            isinstance(sub, ast.Attribute) and sub.attr == "sample"
+            for sub in ast.walk(node.value)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._sample_aliases.add(target.id)
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, path: str) -> None:
@@ -286,11 +363,6 @@ class _LintVisitor(ast.NodeVisitor):
             "iterating an unordered set: order depends on PYTHONHASHSEED "
             "and varies across runs; wrap in sorted(...)",
         )
-
-    def visit_For(self, node: ast.For) -> None:
-        if self._is_set_expr(node.iter):
-            self._flag_set_iteration(node.iter)
-        self.generic_visit(node)
 
     def _visit_comprehension(self, node: ast.expr, gens: List[ast.comprehension]) -> None:
         for gen in gens:
@@ -442,6 +514,11 @@ def _file_allowlist(
     for suffix, codes in sorted(file_allowlist.items()):
         if posix.endswith(suffix):
             allowed = allowed | frozenset(codes)
+    # Scoped rules: active only under their path fragment, suppressed
+    # wholesale everywhere else.
+    for code, fragment in sorted(RULE_SCOPES.items()):
+        if fragment not in posix:
+            allowed = allowed | frozenset({code})
     return allowed
 
 

@@ -62,6 +62,51 @@ def point_label(config: ExperimentConfig) -> str:
     return f"{config.workload}/{config.scheduler}/n{config.n_queries}"
 
 
+class CyclePhaseProfiler:
+    """Wall-clock breakdown of one engine run into cycle phases.
+
+    Installed on ``Engine.phase_profiler``; the engine calls
+    :meth:`cycle_start` at the top of each cycle, :meth:`lap` after each
+    phase, and :meth:`cycle_end` at the bottom. The profiler is a pure
+    observer of host time — the simulation never reads it, so profiled
+    and unprofiled runs produce byte-identical outputs (modulo wall
+    clock). Phases: generate (source record synthesis), deliver (network
+    → channel ingestion), schedule (collect + plan + audit), execute
+    (operator work), drain (metrics, telemetry, checkpoints, tracing).
+    """
+
+    PHASES = ("generate", "deliver", "schedule", "execute", "drain")
+
+    def __init__(self) -> None:
+        self.totals_ms: Dict[str, float] = {p: 0.0 for p in self.PHASES}
+        self.cycles = 0
+        self._mark = 0.0
+
+    def cycle_start(self) -> None:
+        self._mark = time.perf_counter()
+
+    def lap(self, phase: str) -> None:
+        t = time.perf_counter()
+        self.totals_ms[phase] += 1000.0 * (t - self._mark)
+        self._mark = t
+
+    def cycle_end(self) -> None:
+        self.cycles += 1
+
+    def per_cycle_ms(self) -> Dict[str, float]:
+        """Mean milliseconds spent in each phase per scheduling cycle."""
+        if self.cycles == 0:
+            return {p: 0.0 for p in self.PHASES}
+        return {p: self.totals_ms[p] / self.cycles for p in self.PHASES}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cycles": self.cycles,
+            "totals_ms": dict(self.totals_ms),
+            "per_cycle_ms": self.per_cycle_ms(),
+        }
+
+
 @dataclass(frozen=True)
 class PerfPoint:
     """Timing of one grid point (best of ``repeats`` serial runs)."""
@@ -70,6 +115,8 @@ class PerfPoint:
     wall_ms: float
     simulated_ms: float
     events: float
+    #: optional CyclePhaseProfiler.to_dict() of the fastest repeat
+    phases: Optional[Dict[str, Any]] = None
 
     @property
     def events_per_wall_sec(self) -> float:
@@ -78,32 +125,39 @@ class PerfPoint:
         return self.events / (self.wall_ms / 1000.0)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "label": self.label,
             "wall_ms": self.wall_ms,
             "simulated_ms": self.simulated_ms,
             "events": self.events,
             "events_per_wall_sec": self.events_per_wall_sec,
         }
+        if self.phases is not None:
+            out["phases"] = self.phases
+        return out
 
 
 def _time_point(
-    config: ExperimentConfig, repeats: int
+    config: ExperimentConfig, repeats: int, profile: bool = False
 ) -> PerfPoint:
     best: Optional[float] = None
     result: Optional[ExperimentResult] = None
+    best_profiler: Optional[CyclePhaseProfiler] = None
     for _ in range(repeats):
+        profiler = CyclePhaseProfiler() if profile else None
         t0 = time.perf_counter()
-        result = run_experiment(config)
+        result = run_experiment(config, phase_profiler=profiler)
         elapsed_ms = 1000.0 * (time.perf_counter() - t0)
         if best is None or elapsed_ms < best:
             best = elapsed_ms
+            best_profiler = profiler
     assert best is not None and result is not None
     return PerfPoint(
         label=point_label(config),
         wall_ms=best,
         simulated_ms=config.duration_ms,
         events=result.metrics.total_events_processed,
+        phases=best_profiler.to_dict() if best_profiler is not None else None,
     )
 
 
@@ -125,6 +179,7 @@ def run_perf(
     jobs: int = 1,
     repeats: int = 1,
     grid: Optional[Sequence[ExperimentConfig]] = None,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Time the pinned grid; return a BENCH_perf snapshot dict.
 
@@ -141,7 +196,7 @@ def run_perf(
     configs = list(PERF_GRID if grid is None else grid)
     if not configs:
         raise ValueError("perf grid is empty")
-    points = [_time_point(config, repeats) for config in configs]
+    points = [_time_point(config, repeats, profile=profile) for config in configs]
     serial_ms = sum(p.wall_ms for p in points)
     total_events = sum(p.events for p in points)
     total_simulated = sum(p.simulated_ms for p in points)
@@ -222,4 +277,20 @@ def render_perf(snapshot: Dict[str, Any]) -> str:
             f"cpus={parallel['cpus']}): {parallel['wall_ms']:.1f} ms, "
             f"speedup {parallel['speedup']:.2f}x over serial"
         )
+    if any("phases" in row for row in snapshot.get("points", [])):
+        lines.append("  phase breakdown (ms/cycle):")
+        header = CyclePhaseProfiler.PHASES
+        lines.append(
+            "  " + f"{'point':24s}" + "".join(f"{p:>10s}" for p in header)
+        )
+        for row in snapshot.get("points", []):
+            phases = row.get("phases")
+            if not phases:
+                continue
+            per_cycle = phases["per_cycle_ms"]
+            lines.append(
+                "  "
+                + f"{row['label']:24s}"
+                + "".join(f"{per_cycle[p]:10.4f}" for p in header)
+            )
     return "\n".join(lines)

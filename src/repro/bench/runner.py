@@ -145,6 +145,10 @@ class ExperimentConfig:
     # observer: any rate leaves summaries, scheduler decisions, and
     # checkpoint bytes identical to an untraced run.
     lineage_sample_rate: float = 0.0
+    # vectorized cycle kernel (batched delay draws + calendar-queue
+    # network). False runs the scalar reference path; both paths are
+    # byte-identical by contract, so this too is a pure wall-clock knob.
+    vectorized: bool = True
 
     def resolved_memory_gb(self) -> float:
         if self.memory_gb is not None:
@@ -246,8 +250,15 @@ def trace_from_result(result: ExperimentResult) -> Trace:
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build the workload, run the engine, return metrics."""
+def run_experiment(
+    config: ExperimentConfig, *, phase_profiler: object = None
+) -> ExperimentResult:
+    """Build the workload, run the engine, return metrics.
+
+    ``phase_profiler`` optionally installs a
+    :class:`repro.bench.perf.CyclePhaseProfiler` on the engine — a pure
+    wall-clock observer; simulated output is unaffected.
+    """
     params = WorkloadParams(
         delay=config.delay, rate_scale=config.rate_scale, seed=config.seed
     )
@@ -316,7 +327,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         validate=config.validate,
         batch_size=config.batch_size,
         lineage=lineage,
+        vectorized=config.vectorized,
     )
+    if phase_profiler is not None:
+        engine.phase_profiler = phase_profiler
     metrics = engine.run(config.duration_ms)
     chains = profiler.chain_profiles(queries) if profiler is not None else []
     if writer is not None:

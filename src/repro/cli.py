@@ -193,6 +193,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "for simulation wall-clock",
     )
     parser.add_argument(
+        "--scalar-kernel", action="store_true",
+        help="run the scalar reference cycle kernel (per-record delay "
+             "draws + global network heap) instead of the vectorized "
+             "one (batched draws + calendar queue). Both kernels are "
+             "byte-identical by contract — this flag exists for the "
+             "equivalence gate and for bisecting kernel regressions",
+    )
+    parser.add_argument(
         "--lineage-sample-rate", type=float, default=0.0, metavar="RATE",
         help="trace a deterministic hash-sampled fraction of records "
              "end-to-end (network/queue/execute/window/emit latency "
@@ -261,6 +269,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         recover=args.recover,
         batch_size=args.batch_size,
         lineage_sample_rate=args.lineage_sample_rate,
+        vectorized=not args.scalar_kernel,
         **_telemetry_fields(args),
     )
     if args.bench_json:
@@ -301,6 +310,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         recover=args.recover,
         batch_size=args.batch_size,
         lineage_sample_rate=args.lineage_sample_rate,
+        vectorized=not args.scalar_kernel,
         **_telemetry_fields(args),
     )
     _configure_cli_cache(args)
@@ -493,7 +503,9 @@ def cmd_perf(args: argparse.Namespace) -> int:
     )
 
     try:
-        snapshot = run_perf(jobs=args.jobs, repeats=args.repeats)
+        snapshot = run_perf(
+            jobs=args.jobs, repeats=args.repeats, profile=args.profile
+        )
     except ValueError as exc:
         print(f"[perf] ERROR: {exc}", file=sys.stderr)
         return 2
@@ -738,6 +750,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None, metavar="PATH",
         help="compare against a baseline perf snapshot; non-zero exit "
              "on regression (advisory: wall time is machine-dependent)",
+    )
+    perf_p.add_argument(
+        "--profile", action="store_true",
+        help="attach a cycle-phase profiler to every timed run and "
+             "report generate/deliver/schedule/execute/drain wall "
+             "milliseconds per cycle (pure observer: simulated output "
+             "is unchanged)",
     )
     perf_p.set_defaults(func=cmd_perf)
 

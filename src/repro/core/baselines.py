@@ -27,6 +27,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.audit import QueryDecision
 
 
+def _rank_by_keys(queries: List[Query], keys: List[float]) -> List[Query]:
+    """Stable argsort of ``queries`` by the parallel SoA ``keys`` column.
+
+    Equivalent ordering to ``sorted(queries, key=...)`` — Python's sort is
+    stable, so ties preserve the input order under both formulations — but
+    the key is a plain list index instead of a per-comparison callback.
+    """
+    order = sorted(range(len(queries)), key=keys.__getitem__)
+    return [queries[i] for i in order]
+
+
 def _explain_scored(
     plan: Plan, reason: str, score_of: Callable[[Query], Optional[float]]
 ) -> "List[QueryDecision]":
@@ -71,11 +82,12 @@ class FCFSScheduler(Scheduler):
     name = "FCFS"
 
     def plan(self, ctx: SchedulerContext) -> Plan:
-        def key(q: Query) -> float:
+        queries = ctx.queries
+        arrivals: List[float] = []
+        for q in queries:
             arrival = q.oldest_queued_arrival()
-            return arrival if arrival is not None else math.inf
-
-        ordered = sorted(ctx.queries, key=key)
+            arrivals.append(arrival if arrival is not None else math.inf)
+        ordered = _rank_by_keys(queries, arrivals)
         return Plan([Allocation(q) for q in ordered], mode="priority")
 
     def explain_plan(
@@ -147,7 +159,13 @@ class HighestRateScheduler(Scheduler):
         return out_fraction / cpu
 
     def plan(self, ctx: SchedulerContext) -> Plan:
-        ordered = sorted(ctx.queries, key=self.productivity, reverse=True)
+        # SoA ranking on negated productivity: sorted(reverse=True) keeps
+        # ties in input order (stability is direction-independent), and so
+        # does an ascending stable sort on the negated key, because
+        # negation never collapses distinct float keys (inf stays -inf).
+        queries = ctx.queries
+        keys = [-self.productivity(q) for q in queries]
+        ordered = _rank_by_keys(queries, keys)
         return Plan([Allocation(q) for q in ordered], mode="priority")
 
     def explain_plan(
@@ -169,11 +187,12 @@ class StreamBoxScheduler(Scheduler):
     name = "SBox"
 
     def plan(self, ctx: SchedulerContext) -> Plan:
-        def key(q: Query) -> float:
+        queries = ctx.queries
+        deadlines: List[float] = []
+        for q in queries:
             ddl = q.next_window_deadline()
-            return ddl if not math.isnan(ddl) else math.inf
-
-        ordered = sorted(ctx.queries, key=key)
+            deadlines.append(ddl if not math.isnan(ddl) else math.inf)
+        ordered = _rank_by_keys(queries, deadlines)
         return Plan([Allocation(q) for q in ordered], mode="priority")
 
     def explain_plan(

@@ -146,13 +146,32 @@ class SwmIngestionEstimator:
             and memo[1] == self.history
         ):
             return memo[2], memo[3]
-        mus = progress.mu_history()[-self.history:]
-        chis = progress.chi_history()[-self.history:]
+        # The finalized-epoch side of the average only changes when an
+        # epoch closes; its sums are memoized per (epoch_index, history).
+        # ``sum(mus + [cur_mu])`` is a left fold, so it equals
+        # ``sum(mus) + cur_mu`` bit-for-bit — appending the in-flight
+        # epoch to the cached history sum reproduces the full
+        # recomputation exactly.
+        hist = progress._hist_sums_memo
+        if (
+            hist is None
+            or hist[0] != progress.epoch_index
+            or hist[1] != self.history
+        ):
+            mus = progress.mu_history()[-self.history:]
+            chis = progress.chi_history()[-self.history:]
+            hist = (
+                progress.epoch_index,
+                self.history,
+                len(mus),
+                sum(mus),
+                sum(chis),
+            )
+            progress._hist_sums_memo = hist
         cur_mu, cur_chi = progress.current_epoch_mean()
-        mus = mus + [cur_mu]
-        chis = chis + [cur_chi]
-        mu = sum(mus) / len(mus)
-        chi = sum(chis) / len(chis)
+        n = hist[2] + 1
+        mu = (hist[3] + cur_mu) / n
+        chi = (hist[4] + cur_chi) / n
         progress._moments_memo = (progress._version, self.history, mu, chi)
         return mu, chi
 
@@ -183,17 +202,19 @@ class SwmIngestionEstimator:
             g += watermark_period
         return g
 
-    def estimate(
+    def estimate_scalars(
         self,
         binding: SourceBinding,
         *,
         phase: float = 0.0,
         deadline: Optional[float] = None,
-    ) -> Optional[SwmEstimate]:
-        """Predict the next SWM ingestion for ``binding``'s stream.
+    ) -> Optional[tuple]:
+        """``(mean, std, t_min, t_max, deadline, generation)`` for the next
+        SWM, or ``None`` for streams with no downstream window operator.
 
-        Returns ``None`` for streams with no downstream window operator
-        (no deadlines, hence no SWMs).
+        The allocation-free core of :meth:`estimate`: the scheduler's hot
+        loop evaluates every (query, binding) pair each cycle and only
+        needs the scalars, not a :class:`SwmEstimate` object.
         """
         progress = binding.progress
         if progress is None or progress.next_deadline is None:
@@ -209,11 +230,36 @@ class SwmIngestionEstimator:
         var = max(chi - mu * mu, 0.0)
         std = max(math.sqrt(var), _MIN_STD_MS)
         mean = generation + mu
+        return (
+            mean,
+            std,
+            mean - self.z * std,
+            mean + self.z * std,
+            ddl,
+            generation,
+        )
+
+    def estimate(
+        self,
+        binding: SourceBinding,
+        *,
+        phase: float = 0.0,
+        deadline: Optional[float] = None,
+    ) -> Optional[SwmEstimate]:
+        """Predict the next SWM ingestion for ``binding``'s stream.
+
+        Returns ``None`` for streams with no downstream window operator
+        (no deadlines, hence no SWMs).
+        """
+        scalars = self.estimate_scalars(binding, phase=phase, deadline=deadline)
+        if scalars is None:
+            return None
+        mean, std, t_min, t_max, ddl, generation = scalars
         return SwmEstimate(
             mean=mean,
             std=std,
-            t_min=mean - self.z * std,
-            t_max=mean + self.z * std,
+            t_min=t_min,
+            t_max=t_max,
             deadline=ddl,
             swm_generation=generation,
         )

@@ -24,7 +24,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.estimator import SwmEstimate, SwmIngestionEstimator
 from repro.core.memory_policy import best_prefix
 from repro.core.scheduler import Allocation, Plan, Scheduler, SchedulerContext
-from repro.core.slack import expected_slack, interval_steps
+from repro.core.slack import (
+    expected_slack,
+    expected_slack_scalars,
+    interval_steps,
+    interval_steps_scalars,
+)
 from repro.spe.query import Query
 
 
@@ -77,6 +82,9 @@ class KlinkScheduler(Scheduler):
         self.last_slacks: Dict[str, float] = {}
         self.mm_episodes = 0
         self._last_overhead_ms = 0.0
+        # SoA scratch for plan(): per-query slack values aligned with
+        # ctx.queries, reused across cycles (rebuilt, never carried over).
+        self._slack_soa: List[float] = []
 
     # -- slack evaluation (Algorithm 1) ------------------------------------
 
@@ -103,20 +111,41 @@ class KlinkScheduler(Scheduler):
         slacks: List[float] = []
         steps = 0
         audit = self.forecast_audit
-        for binding in query.bindings:
-            estimate = self.estimator.estimate(
-                binding, phase=query.deployed_at
-            )
-            if estimate is None:
-                continue
-            if audit is not None:
+        if audit is None:
+            # Fused fast path: the estimator hands back the distribution's
+            # scalars directly and the slack/steps cores consume them, so
+            # no SwmEstimate is allocated per (query, binding) per cycle.
+            # The arithmetic — and its operation order — is identical to
+            # the audited path below; decision logs stay byte-equal.
+            estimate_scalars = self.estimator.estimate_scalars
+            now = ctx.now
+            cycle_ms = ctx.cycle_ms
+            phase = query.deployed_at
+            for binding in query.bindings:
+                scalars = estimate_scalars(binding, phase=phase)
+                if scalars is None:
+                    continue
+                mean, std, t_min, t_max = scalars[0], scalars[1], scalars[2], scalars[3]
+                slacks.append(
+                    expected_slack_scalars(
+                        mean, std, t_min, t_max, now, cost, cycle_ms
+                    )
+                )
+                steps += interval_steps_scalars(t_min, t_max, now, cycle_ms)
+        else:
+            for binding in query.bindings:
+                estimate = self.estimator.estimate(
+                    binding, phase=query.deployed_at
+                )
+                if estimate is None:
+                    continue
                 audit.on_prediction(
                     query.query_id, binding.source_id, estimate, binding, ctx.now
                 )
-            slacks.append(
-                expected_slack(estimate, ctx.now, cost, ctx.cycle_ms)
-            )
-            steps += interval_steps(estimate, ctx.now, ctx.cycle_ms)
+                slacks.append(
+                    expected_slack(estimate, ctx.now, cost, ctx.cycle_ms)
+                )
+                steps += interval_steps(estimate, ctx.now, ctx.cycle_ms)
         if not slacks:
             # No window operator downstream: the query has no deadline to
             # protect. It is scheduled after deadline-bearing queries.
@@ -177,18 +206,25 @@ class KlinkScheduler(Scheduler):
 
     def plan(self, ctx: SchedulerContext) -> Plan:
         mm = self._update_mm_state(ctx)
-        slack_of: Dict[str, float] = {}
+        queries = ctx.queries
+        slack_soa = self._slack_soa  # klink: transient[scratch ranking buffer rebuilt every plan()]
+        del slack_soa[:]
         total_steps = 0
-        for query in ctx.queries:
+        for query in queries:
             slack, steps = self.query_slack(query, ctx)
-            slack_of[query.query_id] = slack
+            slack_soa.append(slack)
             total_steps += steps
+        slack_of = dict(zip((q.query_id for q in queries), slack_soa))
         self.last_slacks = slack_of
         self._last_overhead_ms = (
-            self.per_query_overhead_ms * len(ctx.queries)
+            self.per_query_overhead_ms * len(queries)
             + self.step_overhead_ms * total_steps
         )
-        ordered = sorted(ctx.queries, key=lambda q: slack_of[q.query_id])
+        # Stable argsort over the SoA column: identical ordering to sorting
+        # the queries by a slack lookup (query_ids are unique, ties keep
+        # ctx.queries order under both formulations).
+        order = sorted(range(len(queries)), key=slack_soa.__getitem__)
+        ordered = [queries[i] for i in order]
         if not mm:
             return Plan([Allocation(q) for q in ordered], mode="priority")
         # Memory management (Sec. 3.4): run each query's memory-releasing

@@ -62,20 +62,46 @@ def expected_slack(
         already behind (its SWM is due or overdue and its queue cannot be
         drained in the remaining time).
     """
+    return expected_slack_scalars(
+        estimate.mean,
+        estimate.std,
+        estimate.t_min,
+        estimate.t_max,
+        now,
+        cost_ms,
+        cycle_ms,
+    )
+
+
+def expected_slack_scalars(
+    mean: float,
+    std: float,
+    t_min: float,
+    t_max: float,
+    now: float,
+    cost_ms: float,
+    cycle_ms: float,
+) -> float:
+    """Allocation-free core of :func:`expected_slack`.
+
+    Takes the estimate's fields as scalars so the scheduler's fused fast
+    path (``SwmIngestionEstimator.estimate_scalars``) can skip building a
+    :class:`SwmEstimate` per (query, binding) per cycle. The arithmetic —
+    including operation order — is byte-for-byte the historical loop.
+    """
     if cycle_ms <= 0:
         raise ValueError(f"cycle must be positive: {cycle_ms}")
-    denom = survival(estimate, now)
-    if denom < _OVERDUE_EPS or estimate.t_max <= now:
-        # SWM overdue (or virtually certain to have arrived): the remaining
-        # margin is whatever is left of the interval, minus the queued work.
-        return (estimate.t_max - now) - cost_ms
-    slack = 0.0
-    x = max(now, estimate.t_min)
-    t_max = estimate.t_max
-    mean = estimate.mean
-    sigma = max(estimate.std, 1e-12)
+    sigma = max(std, 1e-12)
     rt2 = math.sqrt(2.0)
     erfc = math.erfc
+    # survival(estimate, now), inlined with the same expression shape.
+    denom = 0.5 * erfc(((now - mean) / sigma) / rt2)
+    if denom < _OVERDUE_EPS or t_max <= now:
+        # SWM overdue (or virtually certain to have arrived): the remaining
+        # margin is whatever is left of the interval, minus the queued work.
+        return (t_max - now) - cost_ms
+    slack = 0.0
+    x = max(now, t_min)
     # Adjacent grid intervals share a boundary, so each Q-function value is
     # carried from one slide to the next instead of recomputed (the hottest
     # transcendental in the scheduler); the arithmetic per boundary is
@@ -95,7 +121,14 @@ def expected_slack(
 
 def interval_steps(estimate: SwmEstimate, now: float, cycle_ms: float) -> int:
     """Number of window slides Algorithm 1 performs (overhead model input)."""
-    lo = max(now, estimate.t_min)
-    if estimate.t_max <= lo:
+    return interval_steps_scalars(estimate.t_min, estimate.t_max, now, cycle_ms)
+
+
+def interval_steps_scalars(
+    t_min: float, t_max: float, now: float, cycle_ms: float
+) -> int:
+    """Scalar-argument core of :func:`interval_steps` (fused fast path)."""
+    lo = max(now, t_min)
+    if t_max <= lo:
         return 0
-    return int(math.ceil((estimate.t_max - lo) / cycle_ms))
+    return int(math.ceil((t_max - lo) / cycle_ms))

@@ -124,6 +124,7 @@ class DistributedEngine(Engine):
         checkpoints=None,
         recovery=None,
         validate: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.plan = plan
         self.board = ForwardingBoard(rpc_latency_ms)
@@ -149,6 +150,7 @@ class DistributedEngine(Engine):
             checkpoints=checkpoints,
             recovery=recovery,
             validate=validate,
+            vectorized=vectorized,
         )
         # Attach transfer latency to cross-node edges.
         self._delayed_channels: List[Channel] = []
@@ -236,6 +238,8 @@ class DistributedEngine(Engine):
 
     def step_cycle(self) -> None:
         self.clock.advance(self.cycle_ms)
+        # calendar-queue cycle index tracks the clock
+        self._cal_cycle += 1  # klink: transient[relative bucket index; restore refiles buckets against it]
         now = self.clock.now
         self._apply_faults(now)
         down_nodes = frozenset(

@@ -20,14 +20,62 @@ import numpy as np
 class DelayModel(abc.ABC):
     """Samples per-batch network delays (milliseconds)."""
 
+    #: draws prefetched per :meth:`sample_amortized` refill. One numpy
+    #: batch call amortizes over this many scalar draws.
+    AMORTIZE_BLOCK = 256
+
     def __init__(self, rng: np.random.Generator | None = None, seed: int | None = None):
         if rng is not None and seed is not None:
             raise ValueError("pass either rng or seed, not both")
         self._rng = rng if rng is not None else np.random.default_rng(seed)
+        # Prefetch buffer for sample_amortized(): values already drawn
+        # from the generator but not yet handed to a caller.
+        self._draw_buf: list = []
+        self._draw_pos = 0
+        # Bit-generator state captured immediately before the last
+        # prefetch refill; lets checkpoint_rng_state() reconstruct the
+        # *logical* generator position while draws are pending.
+        self._refill_state: object = None
 
     @abc.abstractmethod
     def sample(self) -> float:
         """Draw one delay value in milliseconds."""
+
+    def sample_amortized(self) -> float:
+        """``sample()`` with block-prefetched draws (same value stream).
+
+        Returns exactly the values ``sample()`` would return, in the same
+        order — the refill is one :meth:`sample_batch` call, whose pinned
+        contract is bit-identity with sequential ``sample()`` draws. The
+        only observable difference is the *generator's internal state*,
+        which runs ahead of the consumed values by up to a block. Callers
+        that snapshot generator state (checkpointing engines) or
+        interleave direct ``sample``/``sample_batch`` calls on the same
+        model must not mix them with ``sample_amortized`` — the engine
+        enables amortization only when no such observer exists.
+        """
+        pos = self._draw_pos
+        buf = self._draw_buf
+        if pos < len(buf):
+            self._draw_pos = pos + 1
+            return buf[pos]
+        self._refill_state = self._rng.bit_generator.state
+        self._draw_buf = buf = self.sample_batch(self.AMORTIZE_BLOCK).tolist()
+        self._draw_pos = 1
+        return buf[0]
+
+    def sample_batch(self, n: int) -> np.ndarray:
+        """Draw ``n`` delays as a float64 array.
+
+        Contract: bit-identical to ``[self.sample() for _ in range(n)]``,
+        consuming the underlying generator identically. numpy ``Generator``
+        draws for uniform/exponential/choice are sequential, so subclasses
+        can vectorize; this fallback loops ``sample()`` and is always
+        correct for third-party subclasses.
+        """
+        if n <= 0:
+            return np.empty(0, dtype=np.float64)
+        return np.array([self.sample() for _ in range(n)], dtype=np.float64)
 
     @property
     @abc.abstractmethod
@@ -42,6 +90,40 @@ class DelayModel(abc.ABC):
     def reseed(self, seed: int) -> None:
         """Reset the random stream (used to make experiment repetitions vary)."""
         self._rng = np.random.default_rng(seed)
+        self._draw_buf = []
+        self._draw_pos = 0
+        self._refill_state = None
+
+    def checkpoint_rng_state(self) -> dict:
+        """Bit-generator state at the model's *logical* draw position.
+
+        With no pending prefetched draws this is simply the live state.
+        While :meth:`sample_amortized` draws are pending, the live
+        generator has run a whole block ahead of the values consumed so
+        far; replaying only the consumed prefix from the pre-refill
+        state yields the state a plain-``sample()`` twin would hold at
+        this exact point — so checkpoint bytes are independent of
+        whether draws were amortized, and a restore resumes the same
+        value stream. The live generator and buffer are untouched.
+        """
+        if self._draw_pos >= len(self._draw_buf):
+            return self._rng.bit_generator.state
+        live = self._rng
+        replay = np.random.default_rng()  # klink: allow[KL002] state overwritten next line
+        replay.bit_generator.state = self._refill_state
+        self._rng = replay
+        try:
+            self.sample_batch(self._draw_pos)
+        finally:
+            self._rng = live
+        return replay.bit_generator.state
+
+    def restore_rng_state(self, state: dict) -> None:
+        """Install a checkpointed logical state; discards any prefetch."""
+        self._rng.bit_generator.state = state
+        self._draw_buf = []
+        self._draw_pos = 0
+        self._refill_state = None
 
     def describe(self) -> dict:
         """Analytic summary of the model, for observability records.
@@ -69,6 +151,11 @@ class ConstantDelay(DelayModel):
     def sample(self) -> float:
         return self._delay
 
+    def sample_batch(self, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.float64)
+        return np.full(n, self._delay, dtype=np.float64)
+
     @property
     def bound(self) -> float:
         return self._delay
@@ -90,6 +177,11 @@ class UniformDelay(DelayModel):
 
     def sample(self) -> float:
         return float(self._rng.uniform(self._low, self._high))
+
+    def sample_batch(self, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.float64)
+        return self._rng.uniform(self._low, self._high, size=n)
 
     @property
     def bound(self) -> float:
@@ -139,6 +231,12 @@ class ZipfDelay(DelayModel):
         idx = self._rng.choice(self._n_ranks, p=self._probs)
         return float(self._delays[idx])
 
+    def sample_batch(self, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.float64)
+        idx = self._rng.choice(self._n_ranks, size=n, p=self._probs)
+        return self._delays[idx]
+
     @property
     def bound(self) -> float:
         return self._max
@@ -160,6 +258,11 @@ class ExponentialDelay(DelayModel):
 
     def sample(self) -> float:
         return min(float(self._rng.exponential(self._mean)), self._cap)
+
+    def sample_batch(self, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=np.float64)
+        return np.minimum(self._rng.exponential(self._mean, size=n), self._cap)
 
     @property
     def bound(self) -> float:

@@ -62,8 +62,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: checkpoint schema version; bumped on any incompatible layout change
 #: (v2: channels may hold in-flight columnar RecordBatch runs, tag "rb";
 #: v3: a lineage sidecar — capture_lineage/restore_lineage — may ride
-#: alongside a snapshot in the store, never inside the snapshot itself)
-SCHEMA_VERSION = 3
+#: alongside a snapshot in the store, never inside the snapshot itself;
+#: v4: the in-flight network is captured through the engine's layout
+#: helpers — the vectorized calendar queue and the scalar heap flatten
+#: to the identical canonical (ingest_time, seq)-sorted list, and
+#: restore loads into whichever layout the engine runs)
+SCHEMA_VERSION = 4
 
 #: RunMetrics scalar fields captured verbatim (the resilience counters —
 #: checkpoints taken, recoveries, lost events — are deliberately absent:
@@ -374,9 +378,12 @@ def _binding_state(binding: SourceBinding) -> Dict[str, Any]:
         "bursting": binding.bursting,
         "burst_state_until": binding.burst_state_until,
     }
-    delay_rng = getattr(binding.spec.delay_model, "_rng", None)
-    if delay_rng is not None:
-        state["delay_rng"] = _rng_state(delay_rng)
+    delay_model = binding.spec.delay_model
+    if getattr(delay_model, "_rng", None) is not None:
+        # The logical (consumed-draw) state, not the live one: amortized
+        # prefetching may have run the generator ahead of the values
+        # handed out, and snapshot bytes must not depend on that.
+        state["delay_rng"] = delay_model.checkpoint_rng_state()
     progress = binding.progress
     if progress is not None:
         state["progress"] = {
@@ -404,9 +411,11 @@ def _restore_binding(binding: SourceBinding, state: Dict[str, Any]) -> None:
     _set_rng_state(binding.rng, state["rng"])
     binding.bursting = bool(state["bursting"])
     binding.burst_state_until = float(state["burst_state_until"])
-    delay_rng = getattr(binding.spec.delay_model, "_rng", None)
-    if delay_rng is not None and "delay_rng" in state:
-        _set_rng_state(delay_rng, state["delay_rng"])
+    delay_model = binding.spec.delay_model
+    if getattr(delay_model, "_rng", None) is not None and "delay_rng" in state:
+        # Installs the logical state and discards any prefetched draws;
+        # the resumed stream re-prefetches from here, bit-identically.
+        delay_model.restore_rng_state(state["delay_rng"])
     progress = binding.progress
     progress_state = state.get("progress")
     if progress is not None and progress_state is not None:
@@ -549,12 +558,14 @@ def _check_topology(engine: "Engine", snapshot: Dict[str, Any]) -> None:
 
 def capture(engine: "Engine") -> Dict[str, Any]:
     """Snapshot ``engine`` into a JSON-safe dict. Pure: mutates nothing."""
+    # The engine flattens whichever network layout is active (scalar heap
+    # or vectorized calendar queue) into the same canonical
+    # (ingest_time, seq)-sorted list, so snapshot bytes are identical
+    # across kernel paths.
     network = [
         [ingest_time, seq, query.query_id, query.bindings.index(binding),
          _encode_record(record)]
-        for ingest_time, seq, query, binding, record in sorted(
-            engine._network, key=lambda item: (item[0], item[1])
-        )
+        for ingest_time, seq, query, binding, record in engine.network_entries
     ]
     snapshot: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -638,9 +649,10 @@ def restore(engine: "Engine", snapshot: Dict[str, Any], *, mode: str = "resume")
                 _decode_record(record),
             )
         )
-    # A time-sorted list is a valid heap, and pop order is total in
-    # (ingest_time, seq), so the internal layout is behaviour-neutral.
-    engine._network = network
+    # The engine files the sorted list into its active network layout
+    # (heap: a time-sorted list is a valid heap; calendar queue: bucket
+    # keys are recomputed against the restored clock).
+    engine.network_entries = network
     for scheduler, state in zip(schedulers, scheduler_states):
         scheduler.restore_state(state)
     board = getattr(engine, "board", None)

@@ -69,6 +69,7 @@ class Engine:
         lineage=None,
         validate: bool = True,
         batch_size: int = 1,
+        vectorized: bool = True,
     ) -> None:
         if cores < 1:
             raise ValueError(f"need at least one core: {cores}")
@@ -123,12 +124,39 @@ class Engine:
         self.recovery = recovery
         #: optional sampled per-record causal tracing (repro.obs.LineageTracker)
         self.lineage = lineage
+        #: optional wall-clock phase profiler (repro.bench.perf
+        #: CyclePhaseProfiler): pure observer of host time around the
+        #: cycle phases, never read by the simulation.
+        self.phase_profiler = None
         self.clock = VirtualClock()
         self.metrics = RunMetrics()
         self._rng = np.random.default_rng(seed)
         self._seq = 0
+        #: vectorized cycle kernel (batched delay draws + calendar-queue
+        #: network). The scalar reference path (``vectorized=False``) is
+        #: kept verbatim; both paths are byte-identical by contract (the
+        #: scalar-vs-vectorized equivalence gate in tests and CI enforces
+        #: summaries, traces, decision logs, and checkpoint bytes).
+        self.vectorized = bool(vectorized)
+        # Scalar path: a global (ingest_time, seq) heapq.
         # (ingest_time, seq, query, binding, record)
         self._network: List[Tuple[float, int, Query, SourceBinding, object]] = []
+        # Vectorized path: a bucketed calendar queue. Records land in the
+        # bucket of the cycle that can first deliver them; each delivery
+        # drains every bucket <= the current cycle index, keeps the
+        # authoritative ``ingest_time <= now`` check, and sorts the
+        # deliverable set once by the same (ingest_time, seq) key the heap
+        # pops in — so delivery order is provably unchanged.
+        self._cal_buckets: Dict[int, List[Tuple[float, int, Query, SourceBinding, object]]] = {}
+        self._cal_cycle = 0
+        # Delay draws may be block-prefetched (DelayModel.sample_amortized)
+        # whenever generation is the only consumer of the delay models'
+        # generators: the fault path interleaves direct sample_batch
+        # calls on the same models, so it keeps per-record draws.
+        # Checkpoints are safe — the codec captures the *logical* RNG
+        # position (DelayModel.checkpoint_rng_state), so snapshot bytes
+        # and restored streams are independent of prefetching.
+        self._amortized_draws = self.vectorized and faults is None
         self._throttle_requested = False  # set by plans that stall sources
         self._swm_drained: Dict[str, int] = {q.query_id: 0 for q in self.queries}
         self._marker_drained: Dict[str, int] = {q.query_id: 0 for q in self.queries}
@@ -167,9 +195,14 @@ class Engine:
         markers are control traffic and keep flowing, so event-time keeps
         progressing while the input rate is throttled.
         """
+        generate = (
+            self._generate_binding_vec
+            if self.vectorized
+            else self._generate_binding
+        )
         for query in self.queries:
             for binding in query.bindings:
-                self._generate_binding(query, binding, horizon, shed_events)
+                generate(query, binding, horizon, shed_events)
 
     def _generate_binding(
         self, query: Query, binding: SourceBinding, horizon: float, shed_events: bool
@@ -203,7 +236,7 @@ class Engine:
             if shed_events:
                 metrics.events_shed += count
             elif count > 0:
-                delay = sample()
+                delay = sample()  # klink: allow[KL007] scalar reference path; vec kernel batches via sample_amortized
                 if faults is not None:
                     # A stalled source holds the batch until the stall ends;
                     # the extra time counts as experienced network delay, so
@@ -237,7 +270,7 @@ class Engine:
                     metrics.watermarks_dropped_by_faults += 1
                     continue
                 wm = Watermark(g - lateness, source_id=source_id)
-                delay = sample()
+                delay = sample()  # klink: allow[KL007] scalar reference path; vec kernel batches via sample_amortized
                 if faults is not None:
                     delay += faults.watermark_extra_delay(qid, g)
                     delay = max(delay, faults.source_hold_until(qid, g) - g)
@@ -249,11 +282,289 @@ class Engine:
             g = m_origin + cursor.step * m_period
             if g > horizon:
                 break
-            delay = sample()
+            delay = sample()  # klink: allow[KL007] scalar reference path; vec kernel batches via sample_amortized
             if faults is not None:
                 delay = max(delay, faults.source_hold_until(qid, g) - g)
             push(g + delay, query, binding, LatencyMarker(created_at=g))
             cursor.step += 1
+
+    def _generate_binding_vec(
+        self, query: Query, binding: SourceBinding, horizon: float, shed_events: bool
+    ) -> None:
+        """Vectorized twin of :meth:`_generate_binding` (same byte output).
+
+        Computes the horizon's generation/watermark/marker grids with the
+        identical drift-free cursor arithmetic, evaluates fault hooks
+        through their range variants, then draws *every* network delay
+        the binding needs this cycle in one ``sample_batch`` call —
+        events first, then watermarks, then markers, which is exactly the
+        scalar draw order — and materializes records only at the network
+        boundary. Batched ``Generator`` draws are sequential, so the
+        delay stream (and hence every downstream byte) is unchanged.
+        """
+        spec = binding.spec
+        start = query.deployed_at
+        if binding.next_gen_time < start:
+            binding.next_gen_time = start
+            binding.next_watermark_time = start + spec.watermark_period_ms
+            binding.next_marker_time = start + spec.marker_period_ms
+        faults = self.faults
+        gen_batch_ms = spec.gen_batch_ms
+        if faults is None:
+            # Fault-free fast path: the grid walk, the delay draw, and the
+            # calendar-queue filing fuse into one pass per record stream —
+            # no intermediate tick/count lists, no batch staging. The
+            # horizon of one binding-cycle yields ~3 draws on the pinned
+            # grids — below the break-even batch size of a numpy round
+            # trip — so draws are taken one at a time out of the model's
+            # block-prefetch buffer when no checkpoint can observe the
+            # generator's internal state, and via plain ``sample()``
+            # otherwise. Both are byte-identical to the batched draw by
+            # the pinned sample/sample_batch equivalence contract. The
+            # fault path below batches via ``sample_batch`` + range fault
+            # hooks.
+            delay_model = spec.delay_model
+            sample = (
+                delay_model.sample_amortized
+                if self._amortized_draws
+                else delay_model.sample  # klink: allow[KL007]
+            )
+            seq = self._seq
+            buckets = self._cal_buckets
+            cur = self._cal_cycle
+            now = self.clock.now
+            cycle_ms = self.cycle_ms
+            cursor = binding._gen_cursor
+            g_origin, g_period = cursor.origin, cursor.period
+            step = cursor.step
+            g0 = g_origin + step * g_period
+            bursty = spec.burst_factor > 1.0
+            if not bursty:
+                count = spec.rate_eps * gen_batch_ms / 1000.0
+            else:
+                rate = self._current_rate
+            bytes_per_event = spec.bytes_per_event
+            while g0 + gen_batch_ms <= horizon:
+                step += 1
+                g1 = g_origin + step * g_period  # drift-free g0 + gen_batch_ms
+                if bursty:
+                    count = rate(binding, g0) * gen_batch_ms / 1000.0
+                if shed_events:
+                    self.metrics.events_shed += count
+                elif count > 0:
+                    delay = sample()  # klink: allow[KL007]
+                    t = g1 + delay
+                    seq += 1
+                    if t <= now:
+                        key = cur
+                    else:
+                        key = cur + int((t - now) / cycle_ms)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = bucket = []
+                    bucket.append(
+                        (
+                            t,
+                            seq,
+                            query,
+                            binding,
+                            EventBatch(
+                                count=count,
+                                t_start=g0,
+                                t_end=g1,
+                                delay=delay,
+                                bytes_per_event=bytes_per_event,
+                            ),
+                        )
+                    )
+                g0 = g1
+            cursor.step = step
+            if spec.emit_watermarks:
+                cursor = binding._watermark_cursor
+                w_origin, w_period = cursor.origin, cursor.period
+                step = cursor.step
+                lateness = spec.lateness_ms
+                source_id = binding.source_id
+                while True:
+                    g = w_origin + step * w_period
+                    if g > horizon:
+                        break
+                    step += 1
+                    delay = sample()  # klink: allow[KL007]
+                    t = g + delay
+                    seq += 1
+                    if t <= now:
+                        key = cur
+                    else:
+                        key = cur + int((t - now) / cycle_ms)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = bucket = []
+                    bucket.append(
+                        (
+                            t,
+                            seq,
+                            query,
+                            binding,
+                            Watermark(g - lateness, source_id=source_id),
+                        )
+                    )
+                cursor.step = step
+            cursor = binding._marker_cursor
+            m_origin, m_period = cursor.origin, cursor.period
+            step = cursor.step
+            while True:
+                g = m_origin + step * m_period
+                if g > horizon:
+                    break
+                delay = sample()  # klink: allow[KL007]
+                t = g + delay
+                seq += 1
+                if t <= now:
+                    key = cur
+                else:
+                    key = cur + int((t - now) / cycle_ms)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = bucket = []
+                bucket.append(
+                    (t, seq, query, binding, LatencyMarker(created_at=g))
+                )
+                step += 1
+            cursor.step = step
+            self._seq = seq
+            return
+        # Fault-injected path: build the horizon's tick grids, filter
+        # drop-faulted watermarks, then draw every delay in one
+        # ``sample_batch`` call and apply the range fault hooks.
+        qid = query.query_id
+        metrics = self.metrics
+        cursor = binding._gen_cursor
+        g_origin, g_period = cursor.origin, cursor.period
+        step = cursor.step
+        g0 = g_origin + step * g_period
+        ev_g0: List[float] = []
+        ev_g1: List[float] = []
+        while g0 + gen_batch_ms <= horizon:
+            step += 1
+            g1 = g_origin + step * g_period  # drift-free g0 + gen_batch_ms
+            ev_g0.append(g0)
+            ev_g1.append(g1)
+            g0 = g1
+        cursor.step = step
+        n_ev = len(ev_g0)
+        if spec.burst_factor <= 1.0:
+            count = spec.rate_eps * gen_batch_ms / 1000.0
+            counts = [count] * n_ev
+        else:
+            # The burst state machine consumes binding.rng in interval
+            # order, exactly like the scalar while-loop.
+            rate = self._current_rate
+            counts = [rate(binding, g) * gen_batch_ms / 1000.0 for g in ev_g0]
+        if shed_events:
+            # Sequential adds: float accumulation order matches the
+            # scalar per-interval ``events_shed += count``.
+            for count in counts:
+                metrics.events_shed += count
+            n_event_draws = 0
+        else:
+            n_event_draws = sum(1 for count in counts if count > 0)
+        # Watermark grid. Drop-faulted ticks are filtered out *before*
+        # sampling — a dropped watermark consumes no delay draw.
+        wm_live: List[float] = []
+        if spec.emit_watermarks:
+            cursor = binding._watermark_cursor
+            w_origin, w_period = cursor.origin, cursor.period
+            step = cursor.step
+            wm_ticks: List[float] = []
+            while True:
+                g = w_origin + step * w_period
+                if g > horizon:
+                    break
+                step += 1
+                wm_ticks.append(g)
+            cursor.step = step
+            if wm_ticks and faults is not None:
+                dropped = faults.drops_watermark_range(qid, wm_ticks)
+                n_dropped = sum(dropped)
+                if n_dropped:
+                    # Integer counter bumped by an integer tick count —
+                    # no float drift is possible here.
+                    metrics.watermarks_dropped_by_faults += n_dropped  # klink: allow[KL005]
+                    wm_live = [
+                        g for g, drop in zip(wm_ticks, dropped) if not drop
+                    ]
+                else:
+                    wm_live = wm_ticks
+            else:
+                wm_live = wm_ticks
+        # Latency-marker grid.
+        cursor = binding._marker_cursor
+        m_origin, m_period = cursor.origin, cursor.period
+        step = cursor.step
+        mk_ticks: List[float] = []
+        while True:
+            g = m_origin + step * m_period
+            if g > horizon:
+                break
+            mk_ticks.append(g)
+            step += 1
+        cursor.step = step
+        n_wm = len(wm_live)
+        n_mk = len(mk_ticks)
+        total = n_event_draws + n_wm + n_mk
+        if total == 0:
+            return
+        # One batched draw covers the whole binding-cycle; slices are
+        # consumed in the scalar order (events, watermarks, markers).
+        delays = spec.delay_model.sample_batch(total).tolist()
+        push = self._push_network
+        i = 0
+        if n_event_draws:
+            bytes_per_event = spec.bytes_per_event
+            holds = faults.source_hold_until_range(qid, ev_g1)
+            for j, count in enumerate(counts):
+                if count <= 0:
+                    continue
+                g1 = ev_g1[j]
+                delay = delays[i]
+                i += 1
+                delay = max(delay, holds[j] - g1)
+                push(
+                    g1 + delay,
+                    query,
+                    binding,
+                    EventBatch(
+                        count=count,
+                        t_start=ev_g0[j],
+                        t_end=g1,
+                        delay=delay,
+                        bytes_per_event=bytes_per_event,
+                    ),
+                )
+        if n_wm:
+            lateness = spec.lateness_ms
+            source_id = binding.source_id
+            extras = faults.watermark_extra_delay_range(qid, wm_live)
+            holds_w = faults.source_hold_until_range(qid, wm_live)
+            for j, g in enumerate(wm_live):
+                delay = delays[i]
+                i += 1
+                delay += extras[j]
+                delay = max(delay, holds_w[j] - g)
+                push(
+                    g + delay,
+                    query,
+                    binding,
+                    Watermark(g - lateness, source_id=source_id),
+                )
+        if n_mk:
+            holds_m = faults.source_hold_until_range(qid, mk_ticks)
+            for j, g in enumerate(mk_ticks):
+                delay = delays[i]
+                i += 1
+                delay = max(delay, holds_m[j] - g)
+                push(g + delay, query, binding, LatencyMarker(created_at=g))
 
     def _current_rate(self, binding: SourceBinding, at: float) -> float:
         """Source rate at generation time ``at``, per the burst state."""
@@ -273,9 +584,110 @@ class Engine:
         self, ingest_time: float, query: Query, binding: SourceBinding, record: object
     ) -> None:
         self._seq += 1
-        heapq.heappush(
-            self._network, (ingest_time, self._seq, query, binding, record)
-        )
+        if not self.vectorized:
+            heapq.heappush(  # klink: transient[canonical form captured as network_entries]
+                self._network, (ingest_time, self._seq, query, binding, record)
+            )
+            return
+        # Calendar queue: file the record under the first cycle whose
+        # delivery pass may find it due. The bucket index only controls
+        # *when the record is checked* — the authoritative test stays the
+        # per-record ``ingest_time <= now`` in the delivery pass, so a
+        # record bucketed one cycle early (float division is correctly
+        # rounded, so it can never be bucketed late by more than an ulp's
+        # worth, which the re-check absorbs) is simply deferred to the
+        # next bucket, exactly as the heap would have left it unpopped.
+        now = self.clock.now
+        if ingest_time <= now:
+            key = self._cal_cycle
+        else:
+            key = self._cal_cycle + int((ingest_time - now) / self.cycle_ms)
+        bucket = self._cal_buckets.get(key)
+        if bucket is None:
+            self._cal_buckets[key] = bucket = []  # klink: transient[canonical form captured as network_entries]
+        bucket.append((ingest_time, self._seq, query, binding, record))
+
+    @property
+    def network_entries(self) -> List[Tuple[float, int, Query, SourceBinding, object]]:
+        """Every in-flight record, sorted by the (ingest_time, seq) total
+        order both network layouts deliver in. The checkpoint codec
+        captures this canonical form, so snapshot bytes are independent
+        of the active layout; assigning it loads restored records into
+        whichever layout the engine runs."""
+        if self.vectorized:
+            entries = [
+                entry
+                for bucket in self._cal_buckets.values()
+                for entry in bucket
+            ]
+        else:
+            entries = list(self._network)
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return entries
+
+    @network_entries.setter
+    def network_entries(
+        self, entries: List[Tuple[float, int, Query, SourceBinding, object]]
+    ) -> None:
+        if self.vectorized:
+            self._network = []
+            self._cal_buckets = {}
+            for entry in entries:
+                ingest_time = entry[0]
+                now = self.clock.now
+                if ingest_time <= now:
+                    key = self._cal_cycle
+                else:
+                    key = self._cal_cycle + int(
+                        (ingest_time - now) / self.cycle_ms
+                    )
+                bucket = self._cal_buckets.get(key)
+                if bucket is None:
+                    self._cal_buckets[key] = bucket = []
+                bucket.append(entry)
+        else:
+            # A time-sorted list is a valid heap, and pop order is total
+            # in (ingest_time, seq), so the layout is behaviour-neutral.
+            self._network = list(entries)
+            self._cal_buckets = {}
+
+    def _due_calendar_records(
+        self, now: float
+    ) -> List[Tuple[float, int, Query, SourceBinding, object]]:
+        """Drain every bucket up to the current cycle and return the
+        deliverable records in (ingest_time, seq) order; records checked
+        early re-file under the next cycle's bucket."""
+        buckets = self._cal_buckets
+        cur = self._cal_cycle
+        due_keys = [key for key in buckets if key <= cur]
+        if not due_keys:
+            return []
+        if len(due_keys) == 1:
+            checked = buckets.pop(due_keys[0])
+        else:
+            due_keys.sort()
+            checked = []
+            for key in due_keys:
+                checked.extend(buckets.pop(key))
+        ready = []
+        early = None
+        for entry in checked:
+            if entry[0] <= now:
+                ready.append(entry)
+            else:
+                if early is None:
+                    early = []
+                early.append(entry)
+        if early is not None:
+            nxt = buckets.get(cur + 1)
+            if nxt is None:
+                buckets[cur + 1] = early
+            else:
+                nxt.extend(early)
+        # (ingest_time, seq) pairs are unique, so tuple comparison never
+        # reaches the Query element and the order equals heap-pop order.
+        ready.sort()
+        return ready
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -292,36 +704,82 @@ class Engine:
         over queries) defers everything for queries whose ingestion path
         is unavailable — e.g. their source node failed.
         """
+        if self.vectorized:
+            ready = self._due_calendar_records(now)
+        else:
+            # Popping the whole due prefix first, then processing, is
+            # identical to the historical pop-process interleave: the
+            # processing body never pushes into the network (deferrals
+            # re-enter only after the loop).
+            ready = []
+            network = self._network
+            heappop = heapq.heappop
+            while network and network[0][0] <= now:
+                ready.append(heappop(network))
+        self._ingest_records(ready, now, backpressured, blocked)
+
+    def _ingest_records(
+        self,
+        ready: List[Tuple[float, int, Query, SourceBinding, object]],
+        now: float,
+        backpressured: bool,
+        blocked=None,
+    ) -> None:
+        """Deliver ``ready`` (already in (ingest_time, seq) order) into
+        source queues; shared by the heap and calendar network layouts."""
         deferred = []
         stalled: Dict[str, bool] = {}
-        network = self._network
-        heappop = heapq.heappop
-        query_stalled = self.memory.query_stalled
         metrics = self.metrics
         lineage = self.lineage
-        while network and network[0][0] <= now:
-            _, _, query, binding, record = heappop(network)
-            qid = query.query_id
-            if blocked is not None and blocked(query):
-                deferred.append((query, binding, record))
-                continue
-            if qid not in stalled:
-                stalled[qid] = query_stalled(query)
-            if stalled[qid]:
-                # Credit-based flow control: the whole channel stalls —
-                # events, watermarks, and markers keep their order and age
-                # in the source buffer until credit frees up.
-                deferred.append((query, binding, record))
-                continue
-            # Exact-type checks: network records are exactly EventBatch,
-            # Watermark, or LatencyMarker (no subclasses in the codebase).
-            is_payload = type(record) is EventBatch
-            if backpressured and is_payload:
-                deferred.append((query, binding, record))
-                continue
+        # With per-query credit bounds disabled, query_stalled is
+        # constant-False: skip the per-record memo lookups entirely.
+        check_stall = self.memory.config.per_query_bound_fraction is not None
+        query_stalled = self.memory.query_stalled
+        # The unconstrained cycle — no admission gate, no credit stalls,
+        # no backpressure — delivers every record; skipping the three
+        # constant-False tests per record matters at this loop's volume.
+        # (The guard tests are pure reads, so the split is unobservable.)
+        gated = check_stall or backpressured or blocked is not None
+        for _, _, query, binding, record in ready:
+            if gated:
+                qid = query.query_id
+                if blocked is not None and blocked(query):
+                    deferred.append((query, binding, record))
+                    continue
+                if check_stall and qid not in stalled:
+                    stalled[qid] = query_stalled(query)
+                if check_stall and stalled[qid]:
+                    # Credit-based flow control: the whole channel stalls —
+                    # events, watermarks, and markers keep their order and
+                    # age in the source buffer until credit frees up.
+                    deferred.append((query, binding, record))
+                    continue
+                # Exact-type checks: network records are exactly EventBatch,
+                # Watermark, or LatencyMarker (no subclasses in the codebase).
+                is_payload = type(record) is EventBatch
+                if backpressured and is_payload:
+                    deferred.append((query, binding, record))
+                    continue
+            else:
+                is_payload = type(record) is EventBatch
             progress = binding.progress
             if is_payload:
-                binding.channel.push(record, now)
+                # Inlined Channel.push dispatch for the common case: a
+                # zero-latency coalescing channel routes EventBatch pushes
+                # straight to push_row with the same arguments push would
+                # forward, skipping one call and one isinstance per batch.
+                ch = binding.channel
+                if ch.batch_size > 1 and ch.latency_ms == 0.0:
+                    ch.push_row(
+                        record.count,
+                        record.t_start,
+                        record.t_end,
+                        record.delay,
+                        record.bytes_per_event,
+                        now,
+                    )
+                else:
+                    ch.push(record, now)
                 binding.events_ingested += record.count
                 if progress is not None:
                     progress.observe_delay(record.delay, record.count)
@@ -380,14 +838,14 @@ class Engine:
         order get whatever budget the higher-priority ones left.
         """
         used_total = 0.0
+        cycle_ms = self.cycle_ms
         for alloc in allocations:
             remaining = budget_ms - used_total
             if remaining <= 1e-9:
                 break
-            slice_ms = min(
-                self.cycle_ms * len(alloc.runnable_operators()), remaining
-            )
-            used_total += self._run_allocation(alloc, slice_ms)
+            ops = alloc.runnable_operators()
+            slice_ms = min(cycle_ms * len(ops), remaining)
+            used_total += self._fair_share_ops(ops, slice_ms, cap_per_op=cycle_ms)
         return used_total
 
     def _execute_share(
@@ -423,18 +881,41 @@ class Engine:
         used_get = used_per_op.get
         now = self.clock.now
         cap_cutoff = cap_per_op - 1e-9
-        for _ in range(3):
-            ops = [
-                op
-                for op in operators
-                if op.has_work() and used_get(id(op), 0.0) < cap_cutoff
-            ]
+        for rnd in range(3):
+            # The work filter is has_work() inlined (any input channel
+            # non-empty) — a pure read, so the explicit loop is
+            # unobservable; round 0 additionally skips the per-op usage
+            # lookups (no operator has usage yet, so the cap filter
+            # passes trivially: 0 < cutoff for any positive cap).
+            ops = []
+            ops_append = ops.append
+            if rnd == 0 and cap_cutoff > 0.0:
+                for op in operators:
+                    for ch in op.inputs:
+                        if ch._entries:
+                            ops_append(op)
+                            break
+            else:
+                for op in operators:
+                    for ch in op.inputs:
+                        if ch._entries:
+                            if used_get(id(op), 0.0) < cap_cutoff:
+                                ops_append(op)
+                            break
             if not ops or budget_ms - used_total <= 1e-9:
                 break
             share = (budget_ms - used_total) / len(ops)
             for op in ops:
                 prior = used_get(id(op), 0.0)
-                grant = min(share, cap_per_op - prior, budget_ms - used_total)
+                # Inlined 3-way min (ties take the earlier argument,
+                # matching the builtin's left-to-right resolution).
+                grant = share
+                cap_rem = cap_per_op - prior
+                if cap_rem < grant:
+                    grant = cap_rem
+                budget_rem = budget_ms - used_total
+                if budget_rem < grant:
+                    grant = budget_rem
                 if grant <= 1e-9:
                     continue
                 used = op.step(grant, now)
@@ -545,6 +1026,11 @@ class Engine:
     def step_cycle(self) -> None:
         """Execute one scheduling cycle of ``cycle_ms``."""
         self.clock.advance(self.cycle_ms)
+        # The calendar queue's cycle index advances with the clock even on
+        # cycles that skip delivery (node down): the next delivery pass
+        # drains every bucket <= the current index, so nothing is checked
+        # late.
+        self._cal_cycle += 1  # klink: transient[relative bucket index; restore refiles buckets against it]
         now = self.clock.now
         node_down = self._apply_faults(now)
         if self.recovery is not None:
@@ -553,7 +1039,12 @@ class Engine:
         backpressured = self.memory.backpressured(self.queries) or self._throttle_requested
         if backpressured:
             self.metrics.backpressure_cycles += 1
+        pp = self.phase_profiler
+        if pp is not None:
+            pp.cycle_start()
         self._generate_until(now, shed_events=backpressured)
+        if pp is not None:
+            pp.lap("generate")
         if node_down:
             # The (single) node is failed: nothing is ingested or executed
             # this cycle. Sources keep generating; their output ages in the
@@ -565,6 +1056,8 @@ class Engine:
             decisions: list = []
         else:
             self._deliver_ingestions(now, backpressured)
+            if pp is not None:
+                pp.lap("deliver")
             ctx = self._collect()
             plan = self.scheduler.plan(ctx)
             # Explanations are captured at *plan* time: policies that rank
@@ -581,8 +1074,12 @@ class Engine:
             # Memory pressure (heap churn, GC) taxes the cycle's useful CPU.
             tax = self.memory.pressure_tax(ctx.memory_utilization)
             budget = max(0.0, (self.cores * self.cycle_ms - overhead) * (1.0 - tax))
+            if pp is not None:
+                pp.lap("schedule")
             used = self._execute_plan(plan, budget)
             self.metrics.busy_cpu_ms += used
+            if pp is not None:
+                pp.lap("execute")
         self._drain_sink_metrics()
         self._sample_utilization(used + overhead)
         cycle_index = self.metrics.cycles
@@ -622,6 +1119,9 @@ class Engine:
             self.checkpoints.maybe_checkpoint(
                 self, now, frozenset((0,)) if node_down else frozenset()
             )
+        if pp is not None:
+            pp.lap("drain")
+            pp.cycle_end()
 
     def _on_standby_promotion(self, node: int, now: float) -> None:
         """Hook invoked by the RecoveryManager when a hot standby takes

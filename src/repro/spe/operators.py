@@ -134,6 +134,13 @@ class Operator:
         self._stateless_row = (  # klink: transient[build-time classification derived from the class]
             type(self)._on_row is _StatelessRowFastPath._on_row
         )
+        # Likewise for the windowed pane-assignment handler: when the class
+        # inherits _WindowedOperatorBase._on_row unchanged (windowed
+        # aggregates and joins both do), _consume_rows may inline the pane
+        # bookkeeping into its drain loop with per-drain invariants hoisted.
+        self._windowed_row = (  # klink: transient[build-time classification derived from the class]
+            type(self)._on_row is _WindowedOperatorBase._on_row
+        )
 
     # -- wiring --------------------------------------------------------------
 
@@ -144,8 +151,16 @@ class Operator:
     # -- scheduler-facing introspection ---------------------------------------
 
     def _refresh_queue_memo(self) -> None:
-        self._queued_events_memo = sum(ch.queued_events for ch in self.inputs)  # klink: transient[memo over channel state, which is captured]
-        self._queued_bytes_memo = sum(ch.queued_bytes for ch in self.inputs)  # klink: transient[memo over channel state, which is captured]
+        # Plain loops over the channel fields (same left-to-right float
+        # adds as the generator-expression sums they replace; ``sum``
+        # starts from int 0, and 0 + float == 0.0 + float bit-for-bit).
+        events = 0.0
+        nbytes = 0.0
+        for ch in self.inputs:
+            events += ch._queued_events
+            nbytes += ch._queued_bytes
+        self._queued_events_memo = events  # klink: transient[memo over channel state, which is captured]
+        self._queued_bytes_memo = nbytes  # klink: transient[memo over channel state, which is captured]
         self._queues_dirty = False  # klink: transient[memo validity flag; restore marks it dirty]
 
     @property
@@ -203,15 +218,100 @@ class Operator:
             used = 0.0
             while budget_ms - used > _MIN_BUDGET_MS and entries:
                 entry = entries[0]
-                if type(entry.record) is RecordBatch:
+                record = entry.record
+                if type(record) is RecordBatch:
                     used = self._consume_rows(entry, channel, budget_ms, used, now)
                     continue
-                channel.pop()
+                # Channel.pop inlined: the head entry is already in hand,
+                # and control records (the common case here) need no
+                # payload accounting.
+                entries.popleft()
+                if type(record) is EventBatch:
+                    channel._pop_batch_accounting(record)
                 used += self._dispatch(
-                    entry.record, channel, entry.enqueued_at, budget_ms - used, now
+                    record, channel, entry.enqueued_at, budget_ms - used, now
                 )
             return used
         used = 0.0
+        if len(self.inputs) == 2:
+            # Binary joins dominate the multi-input population, and their
+            # row-per-channel-per-turn granularity makes this loop the
+            # engine's hottest scaffold. Specialized round-robin over the
+            # fixed (a, b) pair: the same expressions in the same order as
+            # the general loop below with ``active == [a, b]`` (division
+            # by len(active) == 2, grant recomputed per turn), minus the
+            # per-round list construction and peek() calls.
+            in_a, in_b = self.inputs
+            a_entries = in_a._entries
+            b_entries = in_b._entries
+            while budget_ms - used > _MIN_BUDGET_MS:
+                if a_entries:
+                    if not b_entries:
+                        channel = in_a
+                        break_after = True
+                    else:
+                        channel = None  # both active: run the pair round
+                elif b_entries:
+                    channel = in_b
+                    break_after = True
+                else:
+                    break
+                if channel is not None:
+                    # Single active channel: drain whole batches, exactly
+                    # like the general loop's len(active) == 1 branch.
+                    entries = channel._entries
+                    while budget_ms - used > _MIN_BUDGET_MS and entries:
+                        entry = entries[0]
+                        record = entry.record
+                        if type(record) is RecordBatch:
+                            used = self._consume_rows(
+                                entry, channel, budget_ms, used, now
+                            )
+                            continue
+                        entries.popleft()
+                        if type(record) is EventBatch:
+                            channel._pop_batch_accounting(record)
+                        used += self._dispatch(
+                            record, channel, entry.enqueued_at,
+                            budget_ms - used, now,
+                        )
+                    break
+                rem = budget_ms - used
+                share = rem / 2
+                # channel a's turn (inlined min: ties take the first arg)
+                grant = share if share <= rem else rem
+                if grant <= _MIN_BUDGET_MS:
+                    break
+                entry = a_entries[0]
+                record = entry.record
+                if type(record) is RecordBatch:
+                    used += self._consume_row_turn(entry, in_a, grant, now)
+                else:
+                    a_entries.popleft()
+                    if type(record) is EventBatch:
+                        in_a._pop_batch_accounting(record)
+                    used += self._dispatch(
+                        record, in_a, entry.enqueued_at, grant, now
+                    )
+                # channel b's turn
+                rem = budget_ms - used
+                grant = share if share <= rem else rem
+                if grant <= _MIN_BUDGET_MS:
+                    continue
+                if not b_entries:  # pragma: no cover - acyclic topology
+                    continue
+                entry = b_entries[0]
+                record = entry.record
+                if type(record) is RecordBatch:
+                    used += self._consume_row_turn(entry, in_b, grant, now)
+                else:
+                    b_entries.popleft()
+                    if type(record) is EventBatch:
+                        in_b._pop_batch_accounting(record)
+                    used += self._dispatch(
+                        record, in_b, entry.enqueued_at, grant, now
+                    )
+            return used
         progressed = True
         while budget_ms - used > _MIN_BUDGET_MS and progressed:
             progressed = False
@@ -284,19 +384,24 @@ class Operator:
         operators (multi-input ones use :meth:`_consume_row_turn`).
         Returns the updated ``used``.
         """
-        if self._stateless_row and self.lineage is None:
-            # Fusion skips the per-row _on_row calls the lineage hooks
-            # piggyback on; fused and unfused execution are byte-identical
-            # (proven by the equivalence gate), so tracing simply takes
-            # the unfused path.
-            output = self.output
-            if (
-                output is not None
-                and output.batch_size > 1
-                and output.latency_ms == 0.0
-            ):
-                return self._consume_rows_fused(
-                    entry, channel, budget_ms, used, now, output
+        if self.lineage is None:
+            # Fusion/inlining skips the per-row _on_row calls the lineage
+            # hooks piggyback on; fused and unfused execution are
+            # byte-identical (proven by the equivalence gate), so tracing
+            # simply takes the unfused path.
+            if self._stateless_row:
+                output = self.output
+                if (
+                    output is not None
+                    and output.batch_size > 1
+                    and output.latency_ms == 0.0
+                ):
+                    return self._consume_rows_fused(
+                        entry, channel, budget_ms, used, now, output
+                    )
+            elif self._windowed_row:
+                return self._consume_rows_windowed(
+                    entry, channel, budget_ms, used, now
                 )
         rb = entry.record
         counts = rb.counts
@@ -386,6 +491,152 @@ class Operator:
         self._queues_dirty = True
         return used
 
+    def _consume_rows_windowed(
+        self,
+        entry: object,
+        channel: Channel,
+        budget_ms: float,
+        used: float,
+        now: float,
+    ) -> float:
+        """:meth:`_consume_rows` with ``_WindowedOperatorBase._on_row``
+        inlined into the drain loop.
+
+        Same per-row arithmetic in the same order; the drain-constant
+        reads of the row handler are hoisted once per call: the input's
+        watermark clock and the combined event clock only move in
+        ``_on_watermark`` (never during a payload drain), and the pane
+        table / heap objects are stable attributes. ``late_events_dropped``
+        joins the hoisted stats accumulators (left-fold float adds are
+        associative-free, so the running local equals the per-row
+        attribute adds bit-for-bit), and the state-events memo is
+        invalidated once up front — an extra invalidation is unobservable
+        because the memoized recomputation returns the same sum.
+        """
+        rb = entry.record
+        counts = rb.counts
+        n = len(counts)
+        bpe = rb.bytes_per_event
+        cpe = self.cost_per_event_ms
+        mult = self.cost_multiplier
+        stats = self.stats
+        t_starts = rb.t_starts
+        t_ends = rb.t_ends
+        clock = self._input_watermarks[channel._consumer_index]
+        event_clock = self._event_clock
+        panes = self._panes
+        panes_get = panes.get
+        pane_ends = self._pane_ends
+        pane_heap = self._pane_heap
+        heappush = heapq.heappush
+        assign_range_raw = self.assigner.assign_range_raw
+        self._state_events_memo = None  # klink: transient[memo over _panes, which is captured]
+        q_events = channel._queued_events
+        q_bytes = channel._queued_bytes
+        popped = channel.events_popped
+        ev_in = stats.events_in
+        busy = stats.busy_ms
+        late = stats.late_events_dropped
+        i = rb.head
+        while i < n:
+            grant = budget_ms - used
+            if grant <= _MIN_BUDGET_MS:
+                break
+            count = counts[i]
+            full_cost = count * cpe * mult
+            if full_cost <= grant or cpe == 0.0:
+                q_events -= count
+                q_bytes -= count * bpe
+                popped += count
+                if q_events < 1e-9:
+                    q_events = 0.0
+                if q_bytes < 1e-6:
+                    q_bytes = 0.0
+                ev_in += count
+                busy += full_cost
+                c = count
+                used += full_cost
+                i += 1
+            else:
+                # Partial row: the affordable fraction flows into panes,
+                # the remainder becomes the new head row.
+                fraction = grant / full_cost
+                c = count * fraction
+                tail_count = count * (1.0 - fraction)
+                q_events -= count
+                q_bytes -= count * bpe
+                popped += count
+                if q_events < 1e-9:
+                    q_events = 0.0
+                if q_bytes < 1e-6:
+                    q_bytes = 0.0
+                ev_in += c
+                busy += grant
+                used += grant
+                # -- inlined _on_row body for the head fraction --
+                t_end = t_ends[i]
+                if t_end <= clock:
+                    late += c
+                else:
+                    t_start = t_starts[i]
+                    if t_start < clock < t_end:
+                        keep = (t_end - clock) / (t_end - t_start)
+                        late += c * (1.0 - keep)
+                        c *= keep
+                        t_start = clock
+                    for p_start, p_end, pane_count in assign_range_raw(
+                        t_start, t_end, c
+                    ):
+                        if p_end <= event_clock:
+                            late += pane_count
+                            continue
+                        panes[p_start] = panes_get(p_start, 0.0) + pane_count
+                        if p_start not in pane_ends:
+                            pane_ends[p_start] = p_end
+                            heappush(pane_heap, (p_end, p_start))
+                if tail_count > 0:
+                    q_events += tail_count
+                    q_bytes += tail_count * bpe
+                    channel.events_returned += tail_count
+                    counts[i] = tail_count
+                else:  # pragma: no cover - zero-mass remainder
+                    i += 1
+                break
+            # -- inlined _on_row body (full row) --
+            t_end = t_ends[i - 1]
+            if t_end <= clock:
+                late += c
+                continue
+            t_start = t_starts[i - 1]
+            if t_start < clock < t_end:
+                keep = (t_end - clock) / (t_end - t_start)
+                late += c * (1.0 - keep)
+                c *= keep
+                t_start = clock
+            for p_start, p_end, pane_count in assign_range_raw(
+                t_start, t_end, c
+            ):
+                if p_end <= event_clock:
+                    late += pane_count
+                    continue
+                panes[p_start] = panes_get(p_start, 0.0) + pane_count
+                if p_start not in pane_ends:
+                    pane_ends[p_start] = p_end
+                    heappush(pane_heap, (p_end, p_start))
+        channel._queued_events = q_events
+        channel._queued_bytes = q_bytes
+        channel.events_popped = popped
+        stats.events_in = ev_in
+        stats.busy_ms = busy
+        stats.late_events_dropped = late
+        rb.head = i
+        if i >= n:
+            channel.discard_head()
+        else:
+            entry.enqueued_at = rb.enqueued_ats[i]
+        self._queues_dirty = True
+        return used
+
     def _consume_rows_fused(
         self,
         entry: object,
@@ -433,6 +684,15 @@ class Operator:
         tail = o_entries[-1].record if o_entries else None
         if type(tail) is not RecordBatch or tail.bytes_per_event != out_bpe:
             tail = None
+        else:
+            # append_row inlined below: the tail's column lists are bound
+            # once per tail (compaction dels in place, so the bindings
+            # survive it; a fresh tail rebinds them).
+            tl_counts = tail.counts
+            tl_t_starts = tail.t_starts
+            tl_t_ends = tail.t_ends
+            tl_delays = tail.delays
+            tl_enqueued = tail.enqueued_ats
         emitted = False
         i = rb.head
         while i < n:
@@ -456,25 +716,29 @@ class Operator:
                     ev_out += out_count
                     if (
                         tail is not None
-                        and len(tail.counts) - tail.head < o_cap
+                        and len(tl_counts) - tail.head < o_cap
                     ):
                         if tail.head > _COMPACT_THRESHOLD:
                             h = tail.head
-                            del tail.counts[:h]
-                            del tail.t_starts[:h]
-                            del tail.t_ends[:h]
-                            del tail.delays[:h]
-                            del tail.enqueued_ats[:h]
+                            del tl_counts[:h]
+                            del tl_t_starts[:h]
+                            del tl_t_ends[:h]
+                            del tl_delays[:h]
+                            del tl_enqueued[:h]
                             tail.head = 0
-                        tail.append_row(
-                            out_count, t_starts[i], t_ends[i], delays[i], now
-                        )
                     else:
                         tail = RecordBatch(out_bpe)
-                        tail.append_row(
-                            out_count, t_starts[i], t_ends[i], delays[i], now
-                        )
+                        tl_counts = tail.counts
+                        tl_t_starts = tail.t_starts
+                        tl_t_ends = tail.t_ends
+                        tl_delays = tail.delays
+                        tl_enqueued = tail.enqueued_ats
                         o_entries.append(_Entry(tail, now))
+                    tl_counts.append(out_count)
+                    tl_t_starts.append(t_starts[i])
+                    tl_t_ends.append(t_ends[i])
+                    tl_delays.append(delays[i])
+                    tl_enqueued.append(now)
                     oq_events += out_count
                     oq_bytes += out_count * out_bpe
                     o_pushed += out_count
@@ -580,12 +844,43 @@ class Operator:
                 channel._queued_bytes = 0.0
             stats.events_in += count
             stats.busy_ms += full_cost
-            self._on_row(rb, i, count, channel._consumer_index, now)
-            if self.lineage is not None:
-                self.lineage.on_consumed(
-                    self, rb.t_starts[i], rb.t_ends[i],
-                    rb.enqueued_ats[i], channel, now,
-                )
+            if self._windowed_row and self.lineage is None:
+                # _WindowedOperatorBase._on_row inlined (joins take this
+                # turn path on every row — the handler's statements in
+                # the handler's order, minus the call frame).
+                clock = self._input_watermarks[channel._consumer_index]
+                t_end = rb.t_ends[i]
+                if t_end <= clock:
+                    stats.late_events_dropped += count
+                else:
+                    c = count
+                    t_start = rb.t_starts[i]
+                    if t_start < clock < t_end:
+                        keep = (t_end - clock) / (t_end - t_start)
+                        stats.late_events_dropped += c * (1.0 - keep)
+                        c *= keep
+                        t_start = clock
+                    panes = self._panes
+                    pane_ends = self._pane_ends
+                    event_clock = self._event_clock
+                    self._state_events_memo = None  # klink: transient[memo over _panes, which is captured]
+                    for p_start, p_end, pane_count in self.assigner.assign_range_raw(
+                        t_start, t_end, c
+                    ):
+                        if p_end <= event_clock:
+                            stats.late_events_dropped += pane_count
+                            continue
+                        panes[p_start] = panes.get(p_start, 0.0) + pane_count
+                        if p_start not in pane_ends:
+                            pane_ends[p_start] = p_end
+                            heapq.heappush(self._pane_heap, (p_end, p_start))
+            else:
+                self._on_row(rb, i, count, channel._consumer_index, now)
+                if self.lineage is not None:
+                    self.lineage.on_consumed(
+                        self, rb.t_starts[i], rb.t_ends[i],
+                        rb.enqueued_ats[i], channel, now,
+                    )
             i += 1
             rb.head = i
             if i >= len(counts):
@@ -746,7 +1041,13 @@ class Operator:
                 else:
                     output.push(record, now)
         elif output is not None:
-            output.push(record, now)
+            # Control record (watermark/marker): Channel.push inlined —
+            # no payload accounting, just the entry append (or the
+            # in-flight queue on a latency channel).
+            if output.latency_ms > 0.0:
+                output._pending.append(_Entry(record, now + output.latency_ms))
+            else:
+                output._entries.append(_Entry(record, now))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name!r})"
@@ -1012,8 +1313,18 @@ class _WindowedOperatorBase(Operator):
         if wm.timestamp <= self._input_watermarks[input_index]:
             # Out-of-order watermark: dropped (Flink's behaviour, Sec. 2.2).
             return
-        self._input_watermarks[input_index] = wm.timestamp
-        combined = min(self._input_watermarks)
+        wms = self._input_watermarks
+        wms[input_index] = wm.timestamp
+        # min() over one (or two) elements, inlined: single-input windowed
+        # operators dominate, and ties resolve to the first element just
+        # as the builtin does.
+        if len(wms) == 1:
+            combined = wms[0]
+        elif len(wms) == 2:
+            a, b = wms
+            combined = a if a <= b else b
+        else:
+            combined = min(wms)
         if combined <= self._event_clock:
             return  # other inputs still hold the clock back; nothing fires
         self._event_clock = combined

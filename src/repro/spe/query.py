@@ -153,6 +153,13 @@ class StreamProgress:
         # over the unchanged history would produce.
         self._version = 0  # klink: transient[cache-key counter for the moments memo below]
         self._moments_memo: Optional[Tuple[int, int, float, float]] = None  # klink: transient[memoized (version, history, mu, chi); recomputed on demand]
+        # Epoch-keyed memos: the finalized-epoch history only changes when
+        # an epoch closes, while delay observations arrive every cycle —
+        # caching the history-side sums turns the estimator's per-cycle
+        # moment computation into O(1). Keys use ``epoch_index`` (total
+        # epochs finalized), which the deque's maxlen eviction preserves.
+        self._hist_sums_memo: Optional[Tuple[int, int, int, float, float]] = None  # klink: transient[memoized (epoch_index, history, n, mu_sum, chi_sum)]
+        self._epoch_mean_memo: Optional[Tuple[int, float, float]] = None  # klink: transient[memoized (epoch_index, mu, chi) for the idle-epoch fallback]
         self.last_watermark_ts = -math.inf
         self.last_swm_ingest_time: Optional[float] = None
         self.next_deadline: Optional[float] = (
@@ -205,6 +212,8 @@ class StreamProgress:
         rebuilt the accumulators in place); the next read recomputes from
         the current history."""
         self._moments_memo = None  # klink: transient[memo over the captured accumulators]
+        self._hist_sums_memo = None  # klink: transient[memo over the captured epoch history]
+        self._epoch_mean_memo = None  # klink: transient[memo over the captured epoch history]
 
     # -- estimator inputs ----------------------------------------------------
 
@@ -225,11 +234,16 @@ class StreamProgress:
                 self._delay_sq_sum / self._delay_weight,
             )
         if self.epochs:
+            # The history-average fallback is fixed until the next epoch
+            # closes; memoize it per epoch_index (same sums, same order).
+            memo = self._epoch_mean_memo
+            if memo is not None and memo[0] == self.epoch_index:
+                return memo[1], memo[2]
             n = len(self.epochs)
-            return (
-                sum(e.mu for e in self.epochs) / n,
-                sum(e.chi for e in self.epochs) / n,
-            )
+            mu = sum(e.mu for e in self.epochs) / n
+            chi = sum(e.chi for e in self.epochs) / n
+            self._epoch_mean_memo = (self.epoch_index, mu, chi)
+            return mu, chi
         return 0.0, 0.0
 
     def mu_history(self) -> List[float]:
@@ -389,6 +403,15 @@ class Query:
         self._windowed_ops: List[_WindowedOperatorBase] = [  # klink: transient[build-time classification of the fixed operator list]
             op for op in self.operators if isinstance(op, _WindowedOperatorBase)
         ]
+        # Operators whose state_bytes can be non-zero (the property is
+        # overridden). memory_bytes skips the stateless rest: their base
+        # property returns exactly 0.0 and adding 0.0 to a non-negative
+        # accumulator is a bit-exact no-op.
+        self._stateful_ops: List[Operator] = [  # klink: transient[build-time classification of the fixed operator list]
+            op
+            for op in self.operators
+            if type(op).state_bytes is not Operator.state_bytes
+        ]
         for binding in self.bindings:
             binding._history = epoch_history
             binding.bind_progress(
@@ -402,6 +425,13 @@ class Query:
 
         downstream, _ = build_downstream_map(self.operators)
         self._downstream = downstream
+        # Position-indexed twin of the downstream map (-1 = sink/none) for
+        # the per-cycle cost walk in pending_cost_ms.
+        index = {op: i for i, op in enumerate(self.operators)}
+        self._downstream_idx = [  # klink: transient[build-time wiring, fixed for the life of the topology]
+            index[down] if down is not None else -1
+            for down in (downstream[op] for op in self.operators)
+        ]
 
     def _validate(self) -> None:
         """Graph-shape validation (cycles, wiring, sink placement, topo
@@ -463,6 +493,9 @@ class Query:
             if op._queues_dirty:
                 op._refresh_queue_memo()
             queued += op._queued_bytes_memo
+        # Stateless operators contribute exactly 0.0 to ``state``; only
+        # the overridden properties are read (same adds, same order).
+        for op in self._stateful_ops:
             state += op.state_bytes
         return queued + state
 
@@ -494,26 +527,31 @@ class Query:
     def pending_cost_ms(self) -> float:
         """cost_q(t): CPU time to process every queued event end-to-end.
 
-        Inlines :meth:`unit_costs` (same expressions, same walk order):
-        the scheduler evaluates this for every query every cycle.
+        Inlines :meth:`unit_costs` (same expressions, same walk order)
+        over position-indexed scratch arrays instead of an
+        operator-keyed dict: the scheduler evaluates this for every
+        query every cycle, and list indexing beats identity hashing.
         """
-        costs: Dict[Operator, float] = {}
-        downstream = self._downstream
-        for op in reversed(self.operators):
-            down = downstream[op]
+        ops = self.operators
+        n = len(ops)
+        costs = [0.0] * n
+        downstream_idx = self._downstream_idx
+        for i in range(n - 1, -1, -1):
+            op = ops[i]
+            di = downstream_idx[i]
             stats = op.stats
             sel = (
                 stats.measured_selectivity
                 if stats.events_in > 0
                 else op.selectivity
             )
-            tail = costs[down] if down is not None else 0.0
-            costs[op] = op.cost_per_event_ms + sel * tail
+            tail = costs[di] if di >= 0 else 0.0
+            costs[i] = op.cost_per_event_ms + sel * tail
         total = 0.0
-        for op in self.operators:
+        for i, op in enumerate(ops):
             if op._queues_dirty:
                 op._refresh_queue_memo()
-            total += op._queued_events_memo * costs[op]
+            total += op._queued_events_memo * costs[i]
         return total
 
     def pipeline_cost_per_event_ms(self) -> float:

@@ -214,6 +214,24 @@ class Channel:
                 self._owner._queues_dirty = True
         return entry
 
+    def _pop_batch_accounting(self, record: EventBatch) -> None:
+        """Payload accounting of :meth:`pop`'s EventBatch branch.
+
+        The operator step loops inline the popleft itself (the head entry
+        is already in hand) and call this only when the popped record
+        carries payload — the same statements :meth:`pop` runs, in the
+        same order.
+        """
+        self._queued_events -= record.count
+        self._queued_bytes -= record.bytes
+        self.events_popped += record.count
+        if self._queued_events < 1e-9:
+            self._queued_events = 0.0
+        if self._queued_bytes < 1e-6:
+            self._queued_bytes = 0.0
+        if self._owner is not None:
+            self._owner._queues_dirty = True
+
     def peek(self) -> Optional[_Entry]:
         """Return (without removing) the head entry, or ``None``."""
         return self._entries[0] if self._entries else None

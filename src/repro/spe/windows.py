@@ -196,17 +196,23 @@ class SlidingEventTimeWindows(WindowAssigner):
         while offset + (k - 1) * slide + size > t_start:
             k -= 1
         out: List[Tuple[float, float, float]] = []
+        out_append = out.append
         start = offset + k * slide
         while start <= t_end:
             end = start + size
-            overlap = min(t_end, end) - max(t_start, start)
+            # Inlined min/max (ties resolve to the first argument, exactly
+            # as the builtins do): overlap = min(t_end, end) - max(t_start,
+            # start), floored at zero before the division.
+            overlap = (t_end if t_end <= end else end) - (
+                t_start if t_start >= start else start
+            )
             # Events are uniform on [t_start, t_end]; an event belongs to
             # this pane iff it falls inside the overlap. (pane.end is
             # exclusive but measure-zero boundaries don't matter for
             # uniform mass.)
-            fraction = max(0.0, overlap) / span
+            fraction = (overlap if overlap > 0.0 else 0.0) / span
             if fraction > 0:
-                out.append((start, end, count * fraction))
+                out_append((start, end, count * fraction))
             k += 1
             start = offset + k * slide
         # `fraction` sums to size/slide (pane memberships) across panes.

@@ -12,6 +12,7 @@ from repro.analysis.lint import (
     DEFAULT_FILE_ALLOWLIST,
     RULES,
     iter_python_files,
+    lint_file,
     lint_paths,
     lint_source,
     main,
@@ -216,6 +217,50 @@ class TestKL005:
         assert codes(src) == []
 
 
+# -- KL007: per-element delay draws in loops ---------------------------------
+
+
+class TestKL007:
+    def test_sample_in_for_loop(self):
+        src = "for e in events:\n    d = model.sample()\n"
+        assert codes(src) == ["KL007"]
+
+    def test_sample_in_while_loop(self):
+        src = "while g < horizon:\n    d = model.sample()\n"
+        assert codes(src) == ["KL007"]
+
+    def test_bound_method_alias_in_loop(self):
+        src = "sample = spec.delay_model.sample\nfor e in events:\n    d = sample()\n"
+        assert codes(src) == ["KL007"]
+
+    def test_sample_outside_loop_is_clean(self):
+        assert codes("d = model.sample()\n") == []
+
+    def test_sample_batch_in_loop_is_clean(self):
+        src = "for chunk in chunks:\n    ds = model.sample_batch(len(chunk))\n"
+        assert codes(src) == []
+
+    def test_suppressed_by_pragma(self):
+        src = (
+            "for e in events:\n"
+            "    d = model.sample()  # klink: allow[KL007] scalar path\n"
+        )
+        assert codes(src) == []
+
+    def test_scoped_to_spe_tree(self, tmp_path):
+        # The rule only applies under repro/spe/; elsewhere (tests, tools,
+        # net/) per-element draws are legitimate.
+        src = "for e in events:\n    d = model.sample()\n"
+        spe_dir = tmp_path / "spe"
+        spe_dir.mkdir()
+        inside = spe_dir / "hot.py"
+        inside.write_text(src)
+        outside = tmp_path / "tool.py"
+        outside.write_text(src)
+        assert lint_file(inside).codes() == ["KL007"]
+        assert lint_file(outside).codes() == []
+
+
 # -- file/tree drivers -------------------------------------------------------
 
 
@@ -239,6 +284,7 @@ class TestDrivers:
     def test_rules_table_matches_emitted_codes(self):
         assert set(RULES) == {
             "KL000", "KL001", "KL002", "KL003", "KL004", "KL005", "KL006",
+            "KL007",
         }
 
 
